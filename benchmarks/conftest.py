@@ -1,0 +1,44 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the reproduced rows/series (run with ``-s`` to see them).  Workload sizes
+are chosen so the full suite completes in minutes on a laptop; set
+``REPRO_BENCH_SCALE`` (default 1.0) to scale the trace lengths.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.workloads import standard_workloads
+
+#: Scale factor for trace lengths (REPRO_BENCH_SCALE env var).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Untimed warm-up prefix per workload.
+WARM = int(100_000 * SCALE)
+#: Timed window per workload.
+TIMED = int(25_000 * SCALE)
+
+#: SMP configuration for the TPC-C (16P) runs of Figures 14/15.
+SMP_CPUS = int(os.environ.get("REPRO_BENCH_SMP_CPUS", "16"))
+SMP_WARM = int(20_000 * SCALE)
+SMP_TIMED = int(6_000 * SCALE)
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """The five standard uniprocessor workloads at benchmark scale."""
+    return standard_workloads(warm=WARM, timed=TIMED)
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Session-wide result cache shared by every figure."""
+    return ExperimentRunner(verbose=True)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-figure reproduction exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,119 @@
+"""Ablations of §3's design techniques (DESIGN.md §5).
+
+These are not paper figures; they quantify the design choices the paper
+motivates qualitatively: speculative dispatch + data forwarding (§3.1),
+dual operand access and banking (§3.2), and non-blocking caches (§3.2).
+"""
+
+import conftest
+from conftest import run_once
+
+import pytest
+
+from repro.analysis.workloads import tpcc_workload, workload_by_name
+from repro.model.config import base_config
+from repro.model.simulator import PerformanceModel
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return workload_by_name(
+        "SPECint95",
+        warm=max(20_000, int(60_000 * conftest.SCALE)),
+        timed=max(8_000, int(15_000 * conftest.SCALE)),
+    )
+
+
+@pytest.fixture(scope="module")
+def tpcc():
+    return tpcc_workload(
+        warm=max(20_000, int(60_000 * conftest.SCALE)),
+        timed=max(8_000, int(15_000 * conftest.SCALE)),
+    )
+
+
+def run_config(config, workload):
+    return PerformanceModel(config).run(
+        workload.trace(),
+        warmup_fraction=workload.warmup_fraction,
+        regions=workload.regions(),
+    )
+
+
+def test_ablation_speculative_dispatch(benchmark, workload):
+    """§3.1: speculative dispatch avoids the deep-pipeline bubble cost."""
+    base = base_config()
+    ablated = base.derived(
+        "no-speculative-dispatch",
+        core=base.core.derived(speculative_dispatch=False),
+    )
+    with_spec = run_config(base, workload)
+    without = run_once(benchmark, run_config, ablated, workload)
+    print(
+        f"\nSpeculative dispatch: IPC {with_spec.ipc:.3f} with, "
+        f"{without.ipc:.3f} without ({with_spec.ipc / without.ipc - 1:+.1%})"
+    )
+    assert with_spec.ipc >= without.ipc
+
+
+def test_ablation_data_forwarding(benchmark, workload):
+    """§3.1: forwarding makes results usable the next cycle."""
+    base = base_config()
+    ablated = base.derived(
+        "no-forwarding", core=base.core.derived(data_forwarding=False)
+    )
+    with_fwd = run_config(base, workload)
+    without = run_once(benchmark, run_config, ablated, workload)
+    print(
+        f"\nData forwarding: IPC {with_fwd.ipc:.3f} with, "
+        f"{without.ipc:.3f} without ({with_fwd.ipc / without.ipc - 1:+.1%})"
+    )
+    assert with_fwd.ipc > without.ipc
+
+
+def test_ablation_dual_operand_access(benchmark, tpcc):
+    """§3.2: two L1D requests/cycle vs one, on the OLTP workload."""
+    base = base_config()
+    ablated = base.derived(
+        "single-port", core=base.core.derived(l1d_ports=1)
+    )
+    dual = run_config(base, tpcc)
+    single = run_once(benchmark, run_config, ablated, tpcc)
+    print(
+        f"\nDual operand access: IPC {dual.ipc:.3f} dual, "
+        f"{single.ipc:.3f} single ({dual.ipc / single.ipc - 1:+.1%})"
+    )
+    assert dual.ipc >= single.ipc
+
+
+def test_ablation_bank_conflicts(benchmark, tpcc):
+    """§3.2: the 8 × 4 B banking costs some retries vs an ideal array."""
+    base = base_config()
+    ideal = base.derived(
+        "unbanked", l1d=base.l1d.scaled(banks=1)
+    )
+    banked = run_config(base, tpcc)
+    unbanked = run_once(benchmark, run_config, ideal, tpcc)
+    print(
+        f"\nL1 banking: IPC {banked.ipc:.3f} banked (conflicts="
+        f"{banked.core.bank_conflicts}), {unbanked.ipc:.3f} ideal"
+    )
+    assert unbanked.ipc >= banked.ipc
+    assert banked.core.bank_conflicts >= 0
+
+
+def test_ablation_blocking_cache(benchmark, tpcc):
+    """§3.2/3.3: non-blocking caches (many MSHRs) vs nearly blocking."""
+    base = base_config()
+    blocking = base.derived(
+        "blocking",
+        l1d=base.l1d.scaled(mshr_count=1),
+        l2=base.l2.scaled(mshr_count=1),
+    )
+    non_blocking = run_config(base, tpcc)
+    nearly_blocking = run_once(benchmark, run_config, blocking, tpcc)
+    print(
+        f"\nNon-blocking caches: IPC {non_blocking.ipc:.3f} vs "
+        f"{nearly_blocking.ipc:.3f} with single MSHRs"
+    )
+    assert non_blocking.ipc >= nearly_blocking.ipc

@@ -1,0 +1,33 @@
+"""Figure 7: benchmark characteristics (execution-time breakdown).
+
+Paper shape: SPECint95 ~30% branch stalls; SPECfp95 ~74% core time;
+TPC-C ~35% sx (L2-miss) stalls.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig07_characteristics
+
+
+def test_fig07_breakdown(benchmark, workloads):
+    result = run_once(benchmark, fig07_characteristics, workloads)
+    print("\nFigure 7. Benchmark characteristics.")
+    print(result.format_table())
+
+    by_name = {item.trace_name: item for item in result.breakdowns}
+    for item in result.breakdowns:
+        item.validate()  # fractions sum to 1
+
+    # Shape assertions (generous bands around the paper's statements).
+    assert by_name["SPECint95"].branch > 0.15, "SPECint95 must be branch-heavy"
+    assert by_name["SPECint95"].sx < 0.10, "SPECint95 has high cache-hit ratios"
+    # Paper: 74% core for SPECfp95.  The synthetic FP workload carries a
+    # larger memory component (see EXPERIMENTS.md "known gaps"), so the
+    # assertion checks core-heaviness rather than the paper's exact share.
+    assert by_name["SPECfp95"].core > 0.30, "SPECfp95 is core/compute heavy"
+    assert by_name["SPECfp95"].core > by_name["TPC-C"].core
+    assert by_name["SPECfp95"].branch < 0.05, "SPECfp95 branches are predictable"
+    assert by_name["TPC-C"].sx > 0.12, "TPC-C must stall substantially on L2 misses"
+    assert (
+        by_name["TPC-C"].sx > by_name["SPECint95"].sx
+    ), "the L2 is the key to TPC-C, not SPECint"

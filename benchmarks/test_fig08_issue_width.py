@@ -1,0 +1,27 @@
+"""Figure 8: issue width — 4-way versus 2-way.
+
+Paper shape: every workload benefits from 4-way issue; SPECint95 and
+SPECint2000 improve the most (their cache-hit ratios are high, so the
+core width is the limiter).
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig08_issue_width
+
+
+def test_fig08_issue_width(benchmark, workloads, runner):
+    result = run_once(benchmark, fig08_issue_width, workloads, runner)
+    print("\nFigure 8. Issue width --- 4-way vs. 2-way (IPC ratio).")
+    print(result.format_table())
+
+    ratios = result.ratios
+    # 4-way is never slower.
+    assert all(ratio >= 0.99 for ratio in ratios.values())
+    # SPEC int benefits more than everything else (paper's key observation).
+    int_best = max(ratios["SPECint95"], ratios["SPECint2000"])
+    assert int_best >= ratios["SPECfp95"]
+    assert int_best >= ratios["SPECfp2000"]
+    assert int_best >= ratios["TPC-C"]
+    # And the gain is material, not noise.
+    assert int_best > 1.03

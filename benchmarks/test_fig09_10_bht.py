@@ -1,0 +1,39 @@
+"""Figures 9 & 10: branch history table — latency versus size.
+
+Paper shape: SPEC benchmarks benefit slightly from the faster 4k-2w.1t
+table and show no failure-rate difference; TPC-C's prediction-failure
+rate rises substantially with the smaller table (paper: +60%, IPC −5.6%).
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig09_10_bht
+
+
+def test_fig09_10_bht(benchmark, workloads, runner):
+    result = run_once(benchmark, fig09_10_bht, workloads, runner)
+    print("\nFigures 9/10. Branch history table --- latency vs. size.")
+    print(result.format_table())
+
+    # Figure 10: SPEC sees essentially no failure-rate change.
+    for name in ("SPECint95", "SPECfp95", "SPECint2000", "SPECfp2000"):
+        big = result.mispredict_16k[name]
+        small = result.mispredict_4k[name]
+        assert abs(small - big) <= max(0.01, big * 0.10), (
+            f"{name}: SPEC should show no real BHT-size sensitivity"
+        )
+
+    # Figure 10: TPC-C's failures increase with the 4K table.
+    tpcc_big = result.mispredict_16k["TPC-C"]
+    tpcc_small = result.mispredict_4k["TPC-C"]
+    assert tpcc_small > tpcc_big * 1.05, (
+        "TPC-C must lose prediction accuracy with the 4K BHT "
+        f"(16k={tpcc_big:.4f}, 4k={tpcc_small:.4f})"
+    )
+
+    # TPC-C is the most capacity-sensitive workload in the suite.
+    tpcc_increase = (tpcc_small - tpcc_big) / tpcc_big
+    for name in ("SPECint95", "SPECfp95", "SPECint2000", "SPECfp2000"):
+        big = result.mispredict_16k[name]
+        increase = (result.mispredict_4k[name] - big) / big if big else 0.0
+        assert tpcc_increase >= increase - 1e-9

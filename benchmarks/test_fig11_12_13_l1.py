@@ -1,0 +1,36 @@
+"""Figures 11–13: level-one cache — latency versus volume.
+
+Paper shape: for TPC-C, the 32 KB direct-mapped L1 roughly doubles the
+instruction miss ratio (+99%) and raises the operand miss ratio (+64%)
+versus the 128 KB 2-way design; SPEC with its small footprints is far
+less sensitive.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig11_12_13_l1
+
+
+def test_fig11_12_13_l1(benchmark, workloads, runner):
+    result = run_once(benchmark, fig11_12_13_l1, workloads, runner)
+    print("\nFigures 11-13. L1 cache --- latency vs. volume.")
+    print(result.format_table())
+
+    # Figure 12: TPC-C I-miss grows substantially with the small L1.
+    tpcc_imiss_128 = result.imiss_128k["TPC-C"]
+    tpcc_imiss_32 = result.imiss_32k["TPC-C"]
+    assert tpcc_imiss_32 > tpcc_imiss_128 * 1.3, (
+        f"TPC-C I-miss: 128k={tpcc_imiss_128:.4f}, 32k={tpcc_imiss_32:.4f}"
+    )
+
+    # Figure 13: TPC-C D-miss grows too.
+    tpcc_dmiss_128 = result.dmiss_128k["TPC-C"]
+    tpcc_dmiss_32 = result.dmiss_32k["TPC-C"]
+    assert tpcc_dmiss_32 > tpcc_dmiss_128 * 1.2, (
+        f"TPC-C D-miss: 128k={tpcc_dmiss_128:.4f}, 32k={tpcc_dmiss_32:.4f}"
+    )
+
+    # TPC-C is more I-side sensitive than SPECint (absolute increase).
+    int_delta = result.imiss_32k["SPECint95"] - result.imiss_128k["SPECint95"]
+    tpcc_delta = tpcc_imiss_32 - tpcc_imiss_128
+    assert tpcc_delta > int_delta

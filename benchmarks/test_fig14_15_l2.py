@@ -1,0 +1,51 @@
+"""Figures 14 & 15: L2 cache — on-chip 2 MB vs off-chip 8 MB, incl. SMP.
+
+Paper shape: "off.8m-1w" loses 14% (TPC-C UP) and 12.4% (TPC-C 16P)
+against "on.2m-4w"; "off.8m-2w" is a slight win; the bigger off-chip
+caches have lower miss ratios but pay the +10 ns crossing.
+"""
+
+import conftest
+from conftest import run_once
+
+from repro.analysis.figures import fig14_15_l2
+from repro.analysis.workloads import smp_workload
+
+
+def test_fig14_15_l2(benchmark, workloads, runner):
+    smp = smp_workload(
+        conftest.SMP_CPUS, warm=conftest.SMP_WARM, timed=conftest.SMP_TIMED
+    )
+    result = run_once(
+        benchmark,
+        fig14_15_l2,
+        workloads,
+        runner,
+        smp_cpus=conftest.SMP_CPUS,
+        include_smp=True,
+        smp_workload_override=smp,
+    )
+    print("\nFigures 14/15. L2 cache --- latency vs. volume (incl. TPC-C SMP).")
+    print(result.format_table())
+
+    tpcc = result.ipc_ratios["TPC-C"]
+    # Figure 14: the direct-mapped off-chip L2 is the clear loser on TPC-C.
+    assert tpcc["off.8m-1w"] < 1.0, "off.8m-1w must offer no advantage"
+    assert tpcc["off.8m-1w"] <= tpcc["off.8m-2w"], "associativity matters off-chip"
+
+    # Figure 15: the 8 MB caches miss less than the 2 MB cache on TPC-C.
+    misses = result.miss_ratios["TPC-C"]
+    assert misses["off.8m-2w"] <= misses["on.2m-4w"] + 1e-9
+
+    # SMP workload present and the 1-way off-chip L2 still loses there.
+    smp_name = smp_workload(conftest.SMP_CPUS).name
+    assert smp_name in result.ipc_ratios
+    assert result.ipc_ratios[smp_name]["off.8m-1w"] < 1.02
+
+
+def test_fig14_15_smp_workload_sized():
+    # SMP runs use shorter per-CPU traces; document the scaling in-run.
+    workload = smp_workload(
+        conftest.SMP_CPUS, warm=conftest.SMP_WARM, timed=conftest.SMP_TIMED
+    )
+    assert workload.total_instructions == conftest.SMP_WARM + conftest.SMP_TIMED

@@ -1,0 +1,29 @@
+"""Figures 16 & 17: hardware prefetching.
+
+Paper shape: SPECfp gains the most (IPC improves by more than 13%); the
+L2 demand miss ratio ("with-Demand") drops well below the no-prefetch
+ratio ("without"); the "with" ratio including prefetch requests sits
+between them (unnecessary prefetches are the with/with-Demand gap).
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig16_17_prefetch
+
+
+def test_fig16_17_prefetch(benchmark, workloads, runner):
+    result = run_once(benchmark, fig16_17_prefetch, workloads, runner)
+    print("\nFigures 16/17. Hardware prefetching impact and L2 miss.")
+    print(result.format_table())
+
+    ratios = result.ipc_ratio.ratios
+    # Figure 16: prefetch never hurts, and SPECfp gains the most.
+    assert all(ratio >= 0.97 for ratio in ratios.values())
+    fp_best = max(ratios["SPECfp95"], ratios["SPECfp2000"])
+    assert fp_best > 1.05, f"SPECfp must gain materially from prefetch ({fp_best:.3f})"
+    assert fp_best >= ratios["SPECint95"]
+    assert fp_best >= ratios["TPC-C"]
+
+    # Figure 17: demand misses fall with prefetching for the FP suites.
+    for name in ("SPECfp95", "SPECfp2000"):
+        assert result.miss_with_demand[name] < result.miss_without[name], name

@@ -1,0 +1,22 @@
+"""Figure 18: reservation-station organisation — 1RS vs 2RS.
+
+Paper shape: the flexible single station ("1RS", two dispatches/cycle)
+is slightly faster; the production "2RS" shape gives up a little IPC for
+dispatch-stage simplicity.  The differences are small on every workload.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig18_reservation
+
+
+def test_fig18_reservation_stations(benchmark, workloads, runner):
+    result = run_once(benchmark, fig18_reservation, workloads, runner)
+    print("\nFigure 18. Reservation station --- 1RS vs. 2RS (IPC of 2RS / 1RS).")
+    print(result.format_table())
+
+    for name, ratio in result.ratios.items():
+        # 2RS never *beats* 1RS by a meaningful margin...
+        assert ratio <= 1.02, f"{name}: 2RS should not out-run 1RS"
+        # ...and the loss is slight (paper: a few percent at most).
+        assert ratio >= 0.90, f"{name}: 2RS loss should be small, got {ratio:.3f}"

@@ -1,0 +1,40 @@
+"""§2.1: performance-model simulation speed.
+
+The paper's C model ran a multi-user interactive (TPC-C) trace at
+7.8 K instructions/second on a 1 GHz Pentium III.  This benchmark
+measures the Python model's speed on the same kind of workload —
+documenting the cost of the reproduction substrate.
+"""
+
+import conftest
+
+from repro.analysis.workloads import tpcc_workload
+from repro.model.config import base_config
+from repro.model.simulator import PerformanceModel
+
+PAPER_MODEL_SPEED_IPS = 7_800
+
+
+def test_model_simulation_speed(benchmark):
+    workload = tpcc_workload(
+        warm=max(10_000, int(30_000 * conftest.SCALE)),
+        timed=max(5_000, int(10_000 * conftest.SCALE)),
+    )
+    trace = workload.trace()
+    regions = workload.regions()
+    model = PerformanceModel(base_config())
+
+    result_holder = {}
+
+    def run():
+        result_holder["result"] = model.run(
+            trace, warmup_fraction=workload.warmup_fraction, regions=regions
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = result_holder["result"]
+    print(
+        f"\nModel speed: {result.sim_speed:,.0f} trace-instructions/s "
+        f"(paper's C model: {PAPER_MODEL_SPEED_IPS:,} on a 1 GHz P-III)"
+    )
+    assert result.sim_speed > 1_000  # sanity floor

@@ -1,0 +1,82 @@
+"""Supplemental sweeps (DESIGN.md §5): the studies between the figures.
+
+Not paper figures — continuous versions of the same axes, run at reduced
+scale: L2 capacity, BHT capacity, instruction-window depth, and TPC-C
+SMP scaling.
+"""
+
+import conftest
+from conftest import run_once
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.sweeps import (
+    bht_size_sweep,
+    l2_size_sweep,
+    smp_scaling_sweep,
+    window_size_sweep,
+)
+from repro.analysis.workloads import tpcc_workload, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def sweep_runner():
+    return ExperimentRunner(verbose=True)
+
+
+@pytest.fixture(scope="module")
+def tpcc_small():
+    return tpcc_workload(
+        warm=max(20_000, int(50_000 * conftest.SCALE)),
+        timed=max(6_000, int(12_000 * conftest.SCALE)),
+    )
+
+
+def test_sweep_l2_capacity(benchmark, sweep_runner, tpcc_small):
+    result = run_once(
+        benchmark, l2_size_sweep, (1, 2, 4), workload=tpcc_small,
+        runner=sweep_runner,
+    )
+    print("\n" + result.format_table())
+    misses = result.series["L2 miss ratio"]
+    assert misses[-1] <= misses[0] + 1e-9  # bigger L2 never misses more
+
+
+def test_sweep_bht_capacity(benchmark, sweep_runner, tpcc_small):
+    result = run_once(
+        benchmark, bht_size_sweep, (1024, 4096, 16384), workload=tpcc_small,
+        runner=sweep_runner,
+    )
+    print("\n" + result.format_table())
+    rates = result.series["mispredict ratio"]
+    assert rates[-1] <= rates[0] + 1e-9  # monotone capacity effect
+
+
+def test_sweep_window_depth(benchmark, sweep_runner):
+    workload = workload_by_name(
+        "SPECint95",
+        warm=max(15_000, int(40_000 * conftest.SCALE)),
+        timed=max(6_000, int(12_000 * conftest.SCALE)),
+    )
+    result = run_once(
+        benchmark, window_size_sweep, (16, 32, 64), workload=workload,
+        runner=sweep_runner,
+    )
+    print("\n" + result.format_table())
+    ipcs = result.series["IPC"]
+    assert ipcs[-1] >= ipcs[0] - 0.02
+
+
+def test_sweep_smp_scaling(benchmark, sweep_runner):
+    result = run_once(
+        benchmark, smp_scaling_sweep, (1, 2, 4), runner=sweep_runner,
+        warm=max(6_000, int(15_000 * conftest.SCALE)),
+        timed=max(3_000, int(5_000 * conftest.SCALE)),
+    )
+    print("\n" + result.format_table())
+    system = result.series["system IPC"]
+    # Throughput grows with processors; per-CPU IPC does not increase.
+    assert system[-1] > system[0]
+    per_cpu = result.series["per-CPU IPC"]
+    assert per_cpu[-1] <= per_cpu[0] * 1.1

@@ -1,0 +1,30 @@
+"""Table 1: the microarchitecture parameter inventory.
+
+Asserts the base model matches every row of Table 1 and prints the
+rendered table.
+"""
+
+from conftest import run_once
+
+from repro.model.config import base_config
+
+
+def test_table1_microarchitecture(benchmark):
+    config = run_once(benchmark, base_config)
+    core = config.core
+    # Table 1 rows.
+    assert core.issue_width == 4
+    assert core.window_size == 64
+    assert config.frontend.fetch_group_bytes == 32
+    assert config.bht.entries == 16 * 1024 and config.bht.ways == 4
+    assert config.l1i.size_bytes == 128 * 1024 and config.l1i.ways == 2
+    assert config.l1d.size_bytes == 128 * 1024 and config.l1d.ways == 2
+    assert config.l2.size_bytes == 2 * 1024 * 1024 and config.l2.ways == 4
+    assert core.int_units == 2 and core.fp_units == 2 and core.eag_units == 2
+    assert core.rse_entries * core.int_units == 16
+    assert core.rsf_entries * core.fp_units == 16
+    assert core.rsa_entries == 10 and core.rsbr_entries == 10
+    assert core.int_rename == 32 and core.fp_rename == 32
+    assert core.load_queue == 16 and core.store_queue == 10
+    print("\nTable 1. Microarchitecture.")
+    print(config.table1())

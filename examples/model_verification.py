@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Model-verification methodology walk-through (Figures 2, 3, 19).
+
+Reproduces the paper's development-process machinery end to end:
+
+1. Generate a trace, turn it into an executable performance test program
+   with the Reverse Tracer, and cross-check the trace-driven model
+   against the execution-driven logic simulator (Figure 3, loop (2)).
+2. Replay the model-version history v1..v8 and show the estimate
+   convergence with the v5 special-instruction anomaly (Figure 19 upper).
+3. Track model-vs-"machine" error across verification phases to the
+   final <5% accuracy (Figure 19 lower).
+
+Run:  python examples/model_verification.py
+"""
+
+from repro.trace.synth import generate_trace, standard_profiles
+from repro.verify import (
+    LogicSimulator,
+    ReverseTracer,
+    accuracy_history,
+    cross_check,
+    version_estimate_history,
+)
+
+
+def step1_cross_check() -> None:
+    print("=== 1. Reverse Tracer + logic-simulator cross-check ===")
+    trace = generate_trace(standard_profiles()["SPECint95"], 3_000, seed=7)
+    program, fidelity = ReverseTracer().generate(trace)
+    print(
+        f"trace: {len(trace):,} instructions -> test program: "
+        f"{len(program):,} static instructions"
+    )
+    print(f"replay fidelity: {fidelity.as_dict()}")
+
+    result = cross_check(program, max_steps=12_000)
+    print(
+        f"both paths agree: {result.instructions:,} instructions in "
+        f"{result.cycles:,} cycles (IPC {result.ipc:.3f})\n"
+    )
+
+
+def step2_version_history() -> None:
+    print("=== 2. Model versions v1..v8 (Figure 19, upper) ===")
+    history = version_estimate_history(timed=10_000, warm=40_000)
+    for workload, versions in history.items():
+        series = "  ".join(f"{label}={value:.3f}" for label, value in versions.items())
+        print(f"{workload:12s} {series}")
+    print(
+        "Estimates decrease as model rigidity improves; v5 moves back up\n"
+        "because special instructions got their detailed model (the paper's\n"
+        "v4-era flat experimental penalty was pessimistic).\n"
+    )
+
+
+def step3_accuracy() -> None:
+    print("=== 3. Accuracy vs the physical machine (Figure 19, lower) ===")
+    points = accuracy_history(timed=10_000, warm=40_000)
+    for point in points:
+        print(f"{point.workload:12s} {point.phase:8s} error {point.error:+.2%}")
+    final_errors = [point.abs_error for point in points if point.phase == "final"]
+    print(
+        f"\nfinal accuracy: {max(final_errors):.2%} worst-case "
+        "(paper: 3.9% SPECfp2000, 4.2% SPECint2000)"
+    )
+
+
+def main() -> None:
+    step1_cross_check()
+    step2_version_history()
+    step3_accuracy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the SPARC64 V performance model.
+
+Builds the Table 1 machine, generates a synthetic SPECint95-like trace,
+runs the trace-driven cycle-accurate model with steady-state warm-up, and
+prints the headline statistics — the minimal end-to-end path through the
+library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.model import PerformanceModel, base_config
+from repro.trace.synth import TraceGenerator, standard_profiles
+
+
+def main() -> None:
+    # 1. The machine: Table 1 of the paper (1.3 GHz SPARC64 V).
+    config = base_config()
+    print("=== Machine (Table 1) ===")
+    print(config.table1())
+
+    # 2. The workload: a synthetic SPECint95-like instruction trace.
+    #    100k instructions warm the caches/BHT functionally (the paper's
+    #    traces are steady-state samples); 25k are timed.
+    profile = standard_profiles()["SPECint95"]
+    generator = TraceGenerator(profile, seed=2003)
+    trace = generator.generate(125_000, name="SPECint95-demo")
+    print(f"\n=== Trace ===\n{trace.name}: {len(trace):,} instructions")
+    stats = trace.stats()
+    print(
+        f"loads {stats.load_fraction:.1%}, stores {stats.store_fraction:.1%}, "
+        f"branches {stats.branch_fraction:.1%} "
+        f"({stats.taken_branch_fraction:.0%} taken)"
+    )
+
+    # 3. Run the model.
+    model = PerformanceModel(config)
+    result = model.run(
+        trace, warmup_fraction=0.8, regions=generator.memory_regions()
+    )
+
+    # 4. Results.
+    print("\n=== Simulation result ===")
+    print(result.summary())
+    print(
+        f"\nThe model simulated {result.instructions:,} instructions in "
+        f"{result.cycles:,} cycles (IPC {result.ipc:.3f}) at "
+        f"{result.sim_speed:,.0f} trace-instructions/s.\n"
+        "The paper's C model ran at 7.8K instr/s on a 1 GHz Pentium III."
+    )
+
+
+if __name__ == "__main__":
+    main()

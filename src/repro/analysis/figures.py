@@ -1,0 +1,472 @@
+"""Reproduction functions, one per figure of the paper's §4.
+
+Each function runs the necessary (configuration × workload) matrix on an
+:class:`~repro.analysis.runner.ExperimentRunner` and returns a result
+object carrying both the raw numbers and a ``format_table()`` renderer
+that prints the same series the paper plots.
+
+Paper-reported values to compare shapes against are embedded as
+``PAPER_*`` constants where the text states them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import format_table, percent
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.workloads import (
+    Workload,
+    smp_workload,
+    standard_workloads,
+    tpcc_workload,
+)
+from repro.model.config import (
+    MachineConfig,
+    base_config,
+    bht_4k_2w_1t,
+    issue_2way,
+    l1_32k_1w_3c,
+    l2_off_8m_1w,
+    l2_off_8m_2w,
+    one_rs,
+    prefetch_off,
+)
+from repro.model.perfect import StallBreakdown, stall_breakdown
+
+#: Paper statements used for shape checks (values from §4 text).
+PAPER_FIG7_TPCC_SX = 0.35  # TPC-C spends 35% of time on L2-miss stalls
+PAPER_FIG7_SPECINT95_BRANCH = 0.30  # SPECint95: 30% on branch stalls
+PAPER_FIG7_SPECFP95_CORE = 0.74  # SPECfp95: 74% core execution
+PAPER_FIG9_TPCC_IPC_DROP = 0.056  # 4k-2w.1t loses 5.6% IPC on TPC-C
+PAPER_FIG10_TPCC_MISPREDICT_INCREASE = 0.60  # +60% failures with 4k BHT
+PAPER_FIG11_TPCC_IPC_DROP = 0.020  # 32k-1w.3c loses 2.0% IPC on TPC-C
+PAPER_FIG12_TPCC_IMISS_INCREASE = 0.99  # +99% I-miss with 32 KB L1
+PAPER_FIG13_TPCC_DMISS_INCREASE = 0.64  # +64% D-miss with 32 KB L1
+PAPER_FIG14_TPCC_UP_DROP_8M1W = 0.14  # off.8m-1w loses 14% on TPC-C UP
+PAPER_FIG14_TPCC_16P_DROP_8M1W = 0.124  # and 12.4% on TPC-C 16P
+PAPER_FIG16_SPECFP_GAIN = 0.13  # prefetch gains >13% IPC on SPECfp
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — benchmark characteristics.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig07Result:
+    """Execution-time breakdowns (Figure 7)."""
+
+    breakdowns: List[StallBreakdown]
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                item.trace_name,
+                percent(item.core),
+                percent(item.branch),
+                percent(item.ibs_tlb),
+                percent(item.sx),
+            )
+            for item in self.breakdowns
+        ]
+        return format_table(
+            ["workload", "core", "branch", "ibs/tlb", "sx"], rows
+        )
+
+
+def fig07_characteristics(
+    workloads: Optional[List[Workload]] = None,
+    config: Optional[MachineConfig] = None,
+) -> Fig07Result:
+    """Figure 7: stall breakdown via perfect-structure models."""
+    workloads = workloads or standard_workloads()
+    config = config or base_config()
+    breakdowns = []
+    for workload in workloads:
+        breakdown = stall_breakdown(
+            config,
+            workload.trace(),
+            warmup_fraction=workload.warmup_fraction,
+            regions=workload.regions(),
+        )
+        breakdown.trace_name = workload.name
+        breakdowns.append(breakdown)
+    return Fig07Result(breakdowns)
+
+
+# ---------------------------------------------------------------------------
+# Generic two-config IPC-ratio figure (Figures 8, 9, 11, 18 share shape).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IpcRatioResult:
+    """IPC of an alternative config relative to a baseline, per workload."""
+
+    title: str
+    baseline_name: str
+    alternative_name: str
+    ratios: Dict[str, float]  # workload -> alternative IPC / baseline IPC
+    extras: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        rows = [
+            (name, f"{ratio:.4f}", percent(ratio - 1.0, 2))
+            for name, ratio in self.ratios.items()
+        ]
+        table = format_table(
+            ["workload", f"{self.alternative_name}/{self.baseline_name}", "delta"],
+            rows,
+        )
+        return f"{self.title}\n{table}"
+
+
+def _ipc_ratio_study(
+    title: str,
+    baseline: MachineConfig,
+    alternative: MachineConfig,
+    workloads: List[Workload],
+    runner: ExperimentRunner,
+) -> IpcRatioResult:
+    ratios: Dict[str, float] = {}
+    for workload in workloads:
+        base_result = runner.run(baseline, workload)
+        alt_result = runner.run(alternative, workload)
+        ratios[workload.name] = (
+            alt_result.ipc / base_result.ipc if base_result.ipc else 0.0
+        )
+    return IpcRatioResult(title, baseline.name, alternative.name, ratios)
+
+
+def fig08_issue_width(
+    workloads: Optional[List[Workload]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> IpcRatioResult:
+    """Figure 8: 4-way vs 2-way issue (reported as 4-way over 2-way)."""
+    workloads = workloads or standard_workloads()
+    runner = runner or ExperimentRunner()
+    result = _ipc_ratio_study(
+        "Figure 8: issue width (IPC of 4-way relative to 2-way)",
+        issue_2way(),
+        base_config(),
+        workloads,
+        runner,
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 and 10 — branch history table.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BhtStudyResult:
+    """Figure 9 (IPC ratio) + Figure 10 (misprediction rates)."""
+
+    ipc_ratio: IpcRatioResult
+    mispredict_16k: Dict[str, float]
+    mispredict_4k: Dict[str, float]
+
+    def format_table(self) -> str:
+        rows = []
+        for name in self.mispredict_16k:
+            big = self.mispredict_16k[name]
+            small = self.mispredict_4k[name]
+            increase = (small - big) / big if big else 0.0
+            rows.append(
+                (
+                    name,
+                    f"{self.ipc_ratio.ratios[name]:.4f}",
+                    percent(big, 2),
+                    percent(small, 2),
+                    percent(increase, 0),
+                )
+            )
+        return (
+            "Figures 9/10: BHT 4k-2w.1t versus 16k-4w.2t\n"
+            + format_table(
+                [
+                    "workload",
+                    "IPC(4k)/IPC(16k)",
+                    "mispredict 16k-4w.2t",
+                    "mispredict 4k-2w.1t",
+                    "failure increase",
+                ],
+                rows,
+            )
+        )
+
+
+def fig09_10_bht(
+    workloads: Optional[List[Workload]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> BhtStudyResult:
+    """Figures 9 and 10: BHT latency-versus-size trade-off."""
+    workloads = workloads or standard_workloads()
+    runner = runner or ExperimentRunner()
+    baseline = base_config()
+    alternative = bht_4k_2w_1t()
+    ratio = _ipc_ratio_study(
+        "Figure 9: IPC of 4k-2w.1t relative to 16k-4w.2t",
+        baseline,
+        alternative,
+        workloads,
+        runner,
+    )
+    big = {
+        w.name: runner.run(baseline, w).bht_misprediction_ratio for w in workloads
+    }
+    small = {
+        w.name: runner.run(alternative, w).bht_misprediction_ratio for w in workloads
+    }
+    return BhtStudyResult(ratio, big, small)
+
+
+# ---------------------------------------------------------------------------
+# Figures 11, 12, 13 — level-one cache.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class L1StudyResult:
+    """Figure 11 (IPC) + Figures 12/13 (I and D miss ratios)."""
+
+    ipc_ratio: IpcRatioResult
+    imiss_128k: Dict[str, float]
+    imiss_32k: Dict[str, float]
+    dmiss_128k: Dict[str, float]
+    dmiss_32k: Dict[str, float]
+
+    def format_table(self) -> str:
+        rows = []
+        for name in self.imiss_128k:
+            rows.append(
+                (
+                    name,
+                    f"{self.ipc_ratio.ratios[name]:.4f}",
+                    percent(self.imiss_128k[name], 2),
+                    percent(self.imiss_32k[name], 2),
+                    percent(self.dmiss_128k[name], 2),
+                    percent(self.dmiss_32k[name], 2),
+                )
+            )
+        return (
+            "Figures 11-13: L1 32k-1w.3c versus 128k-2w.4c\n"
+            + format_table(
+                [
+                    "workload",
+                    "IPC(32k)/IPC(128k)",
+                    "I-miss 128k",
+                    "I-miss 32k",
+                    "D-miss 128k",
+                    "D-miss 32k",
+                ],
+                rows,
+            )
+        )
+
+
+def fig11_12_13_l1(
+    workloads: Optional[List[Workload]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> L1StudyResult:
+    """Figures 11–13: L1 cache latency-versus-volume trade-off."""
+    workloads = workloads or standard_workloads()
+    runner = runner or ExperimentRunner()
+    baseline = base_config()
+    alternative = l1_32k_1w_3c()
+    ratio = _ipc_ratio_study(
+        "Figure 11: IPC of 32k-1w.3c relative to 128k-2w.4c",
+        baseline,
+        alternative,
+        workloads,
+        runner,
+    )
+    return L1StudyResult(
+        ipc_ratio=ratio,
+        imiss_128k={w.name: runner.run(baseline, w).miss_ratio("l1i") for w in workloads},
+        imiss_32k={w.name: runner.run(alternative, w).miss_ratio("l1i") for w in workloads},
+        dmiss_128k={w.name: runner.run(baseline, w).miss_ratio("l1d") for w in workloads},
+        dmiss_32k={w.name: runner.run(alternative, w).miss_ratio("l1d") for w in workloads},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 14 and 15 — on-chip vs off-chip L2, including TPC-C (16P).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class L2StudyResult:
+    """Figure 14 (IPC ratios) + Figure 15 (L2 miss ratios)."""
+
+    #: workload -> config label -> IPC relative to on.2m-4w
+    ipc_ratios: Dict[str, Dict[str, float]]
+    #: workload -> config label -> L2 demand miss ratio
+    miss_ratios: Dict[str, Dict[str, float]]
+    labels: List[str] = field(
+        default_factory=lambda: ["on.2m-4w", "off.8m-2w", "off.8m-1w"]
+    )
+
+    def format_table(self) -> str:
+        rows = []
+        for name, per_config in self.ipc_ratios.items():
+            misses = self.miss_ratios[name]
+            rows.append(
+                (
+                    name,
+                    *(f"{per_config[label]:.4f}" for label in self.labels),
+                    *(percent(misses[label], 2) for label in self.labels),
+                )
+            )
+        headers = (
+            ["workload"]
+            + [f"IPC {label}" for label in self.labels]
+            + [f"L2 miss {label}" for label in self.labels]
+        )
+        return "Figures 14/15: L2 design study\n" + format_table(headers, rows)
+
+
+def fig14_15_l2(
+    workloads: Optional[List[Workload]] = None,
+    runner: Optional[ExperimentRunner] = None,
+    smp_cpus: int = 16,
+    include_smp: bool = True,
+    smp_workload_override: Optional[Workload] = None,
+) -> L2StudyResult:
+    """Figures 14/15: on-chip 2 MB vs off-chip 8 MB L2 (+TPC-C SMP)."""
+    workloads = workloads or standard_workloads()
+    runner = runner or ExperimentRunner()
+    configs = {
+        "on.2m-4w": base_config(),
+        "off.8m-2w": l2_off_8m_2w(),
+        "off.8m-1w": l2_off_8m_1w(),
+    }
+    ipc_ratios: Dict[str, Dict[str, float]] = {}
+    miss_ratios: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        ipcs = {}
+        misses = {}
+        for label, config in configs.items():
+            result = runner.run(config, workload)
+            ipcs[label] = result.ipc
+            misses[label] = result.miss_ratio("l2")
+        base_ipc = ipcs["on.2m-4w"]
+        ipc_ratios[workload.name] = {
+            label: value / base_ipc if base_ipc else 0.0
+            for label, value in ipcs.items()
+        }
+        miss_ratios[workload.name] = misses
+
+    if include_smp:
+        smp = smp_workload_override or smp_workload(smp_cpus)
+        ipcs = {}
+        misses = {}
+        for label, config in configs.items():
+            result = runner.run_smp(config, smp, smp_cpus)
+            ipcs[label] = result.ipc
+            misses[label] = result.l2_miss_ratio()
+        base_ipc = ipcs["on.2m-4w"]
+        ipc_ratios[smp.name] = {
+            label: value / base_ipc if base_ipc else 0.0
+            for label, value in ipcs.items()
+        }
+        miss_ratios[smp.name] = misses
+
+    return L2StudyResult(ipc_ratios=ipc_ratios, miss_ratios=miss_ratios)
+
+
+# ---------------------------------------------------------------------------
+# Figures 16 and 17 — hardware prefetching.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PrefetchStudyResult:
+    """Figure 16 (IPC impact) + Figure 17 (L2 miss with/without)."""
+
+    ipc_ratio: IpcRatioResult  # with-prefetch relative to without
+    miss_with: Dict[str, float]  # all requests including prefetches
+    miss_with_demand: Dict[str, float]  # demand requests only
+    miss_without: Dict[str, float]
+
+    def format_table(self) -> str:
+        rows = []
+        for name in self.miss_with:
+            rows.append(
+                (
+                    name,
+                    f"{self.ipc_ratio.ratios[name]:.4f}",
+                    percent(self.miss_with[name], 2),
+                    percent(self.miss_with_demand[name], 2),
+                    percent(self.miss_without[name], 2),
+                )
+            )
+        return (
+            "Figures 16/17: hardware prefetching\n"
+            + format_table(
+                [
+                    "workload",
+                    "IPC(with)/IPC(without)",
+                    "L2 miss with",
+                    "L2 miss with-Demand",
+                    "L2 miss without",
+                ],
+                rows,
+            )
+        )
+
+
+def fig16_17_prefetch(
+    workloads: Optional[List[Workload]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> PrefetchStudyResult:
+    """Figures 16/17: L2 hardware prefetch on versus off."""
+    workloads = workloads or standard_workloads()
+    runner = runner or ExperimentRunner()
+    with_pf = base_config()
+    without_pf = prefetch_off()
+    ratio = _ipc_ratio_study(
+        "Figure 16: IPC with prefetch relative to without",
+        without_pf,
+        with_pf,
+        workloads,
+        runner,
+    )
+    return PrefetchStudyResult(
+        ipc_ratio=ratio,
+        miss_with={
+            w.name: runner.run(with_pf, w).miss_ratio("l2", demand_only=False)
+            for w in workloads
+        },
+        miss_with_demand={
+            w.name: runner.run(with_pf, w).miss_ratio("l2") for w in workloads
+        },
+        miss_without={
+            w.name: runner.run(without_pf, w).miss_ratio("l2") for w in workloads
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 18 — reservation-station organisation.
+# ---------------------------------------------------------------------------
+
+
+def fig18_reservation(
+    workloads: Optional[List[Workload]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> IpcRatioResult:
+    """Figure 18: 2RS relative to 1RS (paper: 2RS slightly lower)."""
+    workloads = workloads or standard_workloads()
+    runner = runner or ExperimentRunner()
+    return _ipc_ratio_study(
+        "Figure 18: IPC of 2RS relative to 1RS",
+        one_rs(),
+        base_config(),
+        workloads,
+        runner,
+    )

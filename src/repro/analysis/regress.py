@@ -1,0 +1,179 @@
+"""Shape-regression harness: every paper claim as a checkable item.
+
+Runs the full evaluation matrix and grades each of the paper's
+qualitative claims PASS / WEAK / FAIL, producing the scorecard that
+EXPERIMENTS.md summarises.  Useful as a one-command acceptance check
+after any change to the simulator or the workload profiles:
+
+    python -m repro.analysis.regress          (full scale, ~10 min)
+    python -m repro.analysis.regress --quick  (reduced traces)
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.figures import (
+    fig07_characteristics,
+    fig08_issue_width,
+    fig09_10_bht,
+    fig11_12_13_l1,
+    fig16_17_prefetch,
+    fig18_reservation,
+)
+from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.workloads import standard_workloads
+
+
+@dataclass
+class Claim:
+    """One paper statement and how the reproduction scores it."""
+
+    figure: str
+    statement: str
+    verdict: str  # PASS / WEAK / FAIL
+    measured: str
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != "FAIL"
+
+
+@dataclass
+class Scorecard:
+    claims: List[Claim] = field(default_factory=list)
+
+    def add(self, figure: str, statement: str, value: float,
+            pass_when: Callable[[float], bool],
+            weak_when: Optional[Callable[[float], bool]] = None,
+            fmt: str = "{:.3f}") -> None:
+        if pass_when(value):
+            verdict = "PASS"
+        elif weak_when is not None and weak_when(value):
+            verdict = "WEAK"
+        else:
+            verdict = "FAIL"
+        self.claims.append(
+            Claim(figure, statement, verdict, fmt.format(value))
+        )
+
+    def format_table(self) -> str:
+        rows = [
+            (claim.figure, claim.verdict, claim.measured, claim.statement)
+            for claim in self.claims
+        ]
+        summary = (
+            f"{sum(c.verdict == 'PASS' for c in self.claims)} PASS, "
+            f"{sum(c.verdict == 'WEAK' for c in self.claims)} WEAK, "
+            f"{sum(c.verdict == 'FAIL' for c in self.claims)} FAIL"
+        )
+        return (
+            format_table(["figure", "verdict", "measured", "paper claim"], rows)
+            + f"\n\n{summary}"
+        )
+
+    @property
+    def failed(self) -> List[Claim]:
+        return [claim for claim in self.claims if claim.verdict == "FAIL"]
+
+
+def run_scorecard(warm: int = 100_000, timed: int = 25_000) -> Scorecard:
+    """Run the matrix and grade every claim."""
+    workloads = standard_workloads(warm=warm, timed=timed)
+    runner = ExperimentRunner(verbose=True)
+    card = Scorecard()
+
+    # Figure 7.
+    breakdown = {
+        item.trace_name: item
+        for item in fig07_characteristics(workloads).breakdowns
+    }
+    card.add("Fig7", "SPECint95 ~30% branch stalls",
+             breakdown["SPECint95"].branch,
+             lambda v: 0.15 <= v <= 0.45)
+    card.add("Fig7", "SPECfp95 is core-execution heavy (paper 74%)",
+             breakdown["SPECfp95"].core,
+             lambda v: v >= 0.55, weak_when=lambda v: v >= 0.30)
+    card.add("Fig7", "TPC-C large sx (L2-miss) share (paper 35%)",
+             breakdown["TPC-C"].sx,
+             lambda v: 0.20 <= v <= 0.60, weak_when=lambda v: v > 0.10)
+
+    # Figure 8.
+    issue = fig08_issue_width(workloads, runner).ratios
+    int_best = max(issue["SPECint95"], issue["SPECint2000"])
+    others = max(issue["SPECfp95"], issue["SPECfp2000"], issue["TPC-C"])
+    card.add("Fig8", "SPECint gains most from 4-way issue",
+             int_best - others, lambda v: v > 0.0)
+    card.add("Fig8", "4-way materially faster for SPECint",
+             int_best, lambda v: v > 1.05)
+
+    # Figures 9/10.
+    bht = fig09_10_bht(workloads, runner)
+    tpcc_increase = (
+        (bht.mispredict_4k["TPC-C"] - bht.mispredict_16k["TPC-C"])
+        / max(bht.mispredict_16k["TPC-C"], 1e-9)
+    )
+    card.add("Fig10", "TPC-C failures increase with 4K BHT (paper +60%)",
+             tpcc_increase, lambda v: v >= 0.30, weak_when=lambda v: v >= 0.05)
+    spec_deltas = [
+        abs(bht.mispredict_4k[name] - bht.mispredict_16k[name])
+        for name in ("SPECint95", "SPECfp95", "SPECint2000", "SPECfp2000")
+    ]
+    card.add("Fig10", "SPEC shows no BHT-size failure difference",
+             max(spec_deltas), lambda v: v < 0.01)
+    card.add("Fig9", "TPC-C IPC favours 16K BHT (paper -5.6% with 4K)",
+             bht.ipc_ratio.ratios["TPC-C"],
+             lambda v: v < 1.0, weak_when=lambda v: v < 1.02)
+
+    # Figures 11-13.
+    l1 = fig11_12_13_l1(workloads, runner)
+    imiss_growth = l1.imiss_32k["TPC-C"] / max(l1.imiss_128k["TPC-C"], 1e-9)
+    dmiss_growth = l1.dmiss_32k["TPC-C"] / max(l1.dmiss_128k["TPC-C"], 1e-9)
+    card.add("Fig12", "TPC-C I-miss grows with 32KB L1 (paper +99%)",
+             imiss_growth, lambda v: 1.5 <= v <= 4.0,
+             weak_when=lambda v: v > 1.2)
+    card.add("Fig13", "TPC-C D-miss grows with 32KB L1 (paper +64%)",
+             dmiss_growth, lambda v: 1.3 <= v <= 3.5,
+             weak_when=lambda v: v > 1.1)
+    card.add("Fig11", "small L1 costs TPC-C IPC (paper -2.0%)",
+             l1.ipc_ratio.ratios["TPC-C"], lambda v: v < 1.0)
+
+    # Figures 16/17.
+    prefetch = fig16_17_prefetch(workloads, runner)
+    fp_gain = max(
+        prefetch.ipc_ratio.ratios["SPECfp95"],
+        prefetch.ipc_ratio.ratios["SPECfp2000"],
+    ) - 1.0
+    card.add("Fig16", "SPECfp gains >13% IPC from prefetch",
+             fp_gain, lambda v: v > 0.13, weak_when=lambda v: v > 0.04,
+             fmt="{:+.1%}")
+    card.add(
+        "Fig17", "prefetch cuts SPECfp demand L2 misses",
+        prefetch.miss_without["SPECfp2000"]
+        - prefetch.miss_with_demand["SPECfp2000"],
+        lambda v: v > 0.0,
+    )
+
+    # Figure 18.
+    rs = fig18_reservation(workloads, runner).ratios
+    card.add("Fig18", "2RS slightly below 1RS on every workload",
+             max(rs.values()), lambda v: v <= 1.02)
+
+    return card
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    warm, timed = (30_000, 8_000) if quick else (100_000, 25_000)
+    card = run_scorecard(warm=warm, timed=timed)
+    print()
+    print(card.format_table())
+    if card.failed:
+        sys.exit(1)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,30 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    columns = [
+        [str(header)] + [str(row[index]) for row in rows]
+        for index, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

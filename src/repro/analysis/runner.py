@@ -1,0 +1,64 @@
+"""Experiment runner with per-process result caching.
+
+Several figures share runs (e.g. the Table 1 base configuration on all
+five workloads appears in Figures 8, 9, 11, 14, 16 and 18 as the
+baseline), so the runner memoises results by (config name, workload
+name, cpu count).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.model.config import MachineConfig
+from repro.model.simulator import PerformanceModel
+from repro.model.stats import SimResult
+from repro.smp.system import SmpResult, run_smp
+from repro.analysis.workloads import Workload
+
+
+class ExperimentRunner:
+    """Runs (config, workload) pairs, caching results."""
+
+    def __init__(self, verbose: bool = False) -> None:
+        self.verbose = verbose
+        self._up_cache: Dict[Tuple[str, str], SimResult] = {}
+        self._smp_cache: Dict[Tuple[str, str, int], SmpResult] = {}
+
+    def run(self, config: MachineConfig, workload: Workload) -> SimResult:
+        """Uniprocessor run of ``workload`` on ``config`` (cached)."""
+        key = (config.name, workload.name)
+        if key not in self._up_cache:
+            if self.verbose:
+                print(f"  running {workload.name} on {config.name} ...")
+            result = PerformanceModel(config).run(
+                workload.trace(),
+                warmup_fraction=workload.warmup_fraction,
+                regions=workload.regions(),
+            )
+            self._up_cache[key] = result
+        return self._up_cache[key]
+
+    def run_smp(
+        self, config: MachineConfig, workload: Workload, cpu_count: int
+    ) -> SmpResult:
+        """SMP run with per-CPU traces of ``workload`` (cached)."""
+        key = (config.name, workload.name, cpu_count)
+        if key not in self._smp_cache:
+            if self.verbose:
+                print(
+                    f"  running {workload.name} x{cpu_count}P on {config.name} ..."
+                )
+            traces, regions = workload.smp_traces(cpu_count)
+            result = run_smp(
+                config,
+                traces,
+                warmup_fraction=workload.warmup_fraction,
+                regions_per_cpu=regions,
+            )
+            self._smp_cache[key] = result
+        return self._smp_cache[key]
+
+    def cached_results(self) -> Dict[Tuple[str, str], SimResult]:
+        """All uniprocessor results produced so far."""
+        return dict(self._up_cache)

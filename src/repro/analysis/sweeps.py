@@ -1,0 +1,159 @@
+"""Parameter sweeps beyond the paper's printed figures.
+
+The paper's §4 studies compare two or three hand-picked design points;
+these helpers sweep the same axes continuously, the kind of supplemental
+study performance architects run between the printed ones:
+
+- :func:`l2_size_sweep` — L2 capacity (§4.3.4's "2 MB is a result of
+  discussions about LSI technology"), with the prefetcher on;
+- :func:`window_size_sweep` — instruction-window depth (§3's 64-entry
+  choice);
+- :func:`smp_scaling_sweep` — TPC-C throughput versus processor count
+  (the system-balance study behind §4.3.4's 16P line);
+- :func:`bht_size_sweep` — BHT capacity between the paper's two points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.workloads import Workload, smp_workload, workload_by_name
+from repro.frontend.bht import BhtParams
+from repro.model.config import MachineConfig, base_config
+
+
+@dataclass
+class SweepResult:
+    """One sweep: axis label, points, and per-point measurements."""
+
+    title: str
+    axis: str
+    points: List[object]
+    #: metric name -> one value per point
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        headers = [self.axis] + list(self.series)
+        rows = []
+        for index, point in enumerate(self.points):
+            row = [point] + [
+                f"{values[index]:.4f}" for values in self.series.values()
+            ]
+            rows.append(row)
+        return f"{self.title}\n{format_table(headers, rows)}"
+
+
+def l2_size_sweep(
+    sizes_mb: Sequence[int] = (1, 2, 4, 8),
+    workload: Optional[Workload] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> SweepResult:
+    """IPC and L2 miss ratio versus on-chip L2 capacity (TPC-C)."""
+    workload = workload or workload_by_name("TPC-C")
+    runner = runner or ExperimentRunner()
+    base = base_config()
+    ipcs: List[float] = []
+    misses: List[float] = []
+    for size in sizes_mb:
+        config = base.derived(
+            f"l2-{size}m",
+            l2=base.l2.scaled(
+                name=f"L2-{size}m", size_bytes=size * 1024 * 1024
+            ),
+        )
+        result = runner.run(config, workload)
+        ipcs.append(result.ipc)
+        misses.append(result.miss_ratio("l2"))
+    return SweepResult(
+        title=f"L2 capacity sweep on {workload.name}",
+        axis="L2 (MB)",
+        points=list(sizes_mb),
+        series={"IPC": ipcs, "L2 miss ratio": misses},
+    )
+
+
+def window_size_sweep(
+    sizes: Sequence[int] = (16, 32, 64, 128),
+    workload: Optional[Workload] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> SweepResult:
+    """IPC versus instruction-window (commit stack) depth."""
+    workload = workload or workload_by_name("SPECint95")
+    runner = runner or ExperimentRunner()
+    base = base_config()
+    ipcs = []
+    for size in sizes:
+        config = base.derived(
+            f"window-{size}", core=base.core.derived(window_size=size)
+        )
+        ipcs.append(runner.run(config, workload).ipc)
+    return SweepResult(
+        title=f"Instruction-window sweep on {workload.name}",
+        axis="window",
+        points=list(sizes),
+        series={"IPC": ipcs},
+    )
+
+
+def bht_size_sweep(
+    entry_counts: Sequence[int] = (1024, 4096, 16384, 65536),
+    workload: Optional[Workload] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> SweepResult:
+    """Misprediction ratio versus BHT capacity (fills in Figure 10)."""
+    workload = workload or workload_by_name("TPC-C")
+    runner = runner or ExperimentRunner()
+    base = base_config()
+    rates = []
+    ipcs = []
+    for entries in entry_counts:
+        config = base.derived(
+            f"bht-{entries}",
+            bht=BhtParams(f"{entries // 1024}k", entries=entries, ways=4,
+                          access_latency=2),
+        )
+        result = runner.run(config, workload)
+        rates.append(result.bht_misprediction_ratio)
+        ipcs.append(result.ipc)
+    return SweepResult(
+        title=f"BHT capacity sweep on {workload.name}",
+        axis="entries",
+        points=list(entry_counts),
+        series={"mispredict ratio": rates, "IPC": ipcs},
+    )
+
+
+def smp_scaling_sweep(
+    cpu_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    runner: Optional[ExperimentRunner] = None,
+    warm: int = 20_000,
+    timed: int = 6_000,
+    config: Optional[MachineConfig] = None,
+) -> SweepResult:
+    """System throughput and coherence traffic versus processor count."""
+    runner = runner or ExperimentRunner()
+    config = config or base_config()
+    system_ipcs = []
+    per_cpu_ipcs = []
+    move_out_rates = []
+    for cpus in cpu_counts:
+        workload = smp_workload(cpus, warm=warm, timed=timed)
+        result = runner.run_smp(config, workload, cpus)
+        system_ipcs.append(result.ipc)
+        per_cpu_ipcs.append(result.per_cpu_ipc)
+        move_out_rates.append(
+            result.coherence["cache_to_cache"] / max(result.total_instructions, 1)
+        )
+    return SweepResult(
+        title="TPC-C SMP scaling",
+        axis="CPUs",
+        points=list(cpu_counts),
+        series={
+            "system IPC": system_ipcs,
+            "per-CPU IPC": per_cpu_ipcs,
+            "move-outs/instr": move_out_rates,
+        },
+    )

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``table1`` — print the production machine configuration.
+- ``run`` — simulate one workload on one configuration.
+- ``figures`` — regenerate one or all of the paper's figures.
+- ``trace`` — generate a synthetic trace to a file.
+- ``verify`` — run the Reverse-Tracer/logic-simulator cross-check.
+- ``smp`` — run the TPC-C SMP study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.model.config import (
+    MachineConfig,
+    base_config,
+    bht_4k_2w_1t,
+    issue_2way,
+    l1_32k_1w_3c,
+    l2_off_8m_1w,
+    l2_off_8m_2w,
+    one_rs,
+    prefetch_off,
+)
+
+_CONFIGS = {
+    "base": base_config,
+    "issue-2way": issue_2way,
+    "bht-4k": bht_4k_2w_1t,
+    "l1-32k": l1_32k_1w_3c,
+    "l2-off-8m-2w": l2_off_8m_2w,
+    "l2-off-8m-1w": l2_off_8m_1w,
+    "no-prefetch": prefetch_off,
+    "1rs": one_rs,
+}
+
+
+def _config_by_name(name: str) -> MachineConfig:
+    try:
+        return _CONFIGS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown config {name!r}; choose from: {', '.join(_CONFIGS)}"
+        )
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    print(_config_by_name(args.config).table1())
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from repro.analysis.workloads import workload_by_name
+    from repro.model.simulator import PerformanceModel
+
+    workload = workload_by_name(args.workload, warm=args.warm, timed=args.timed)
+    config = _config_by_name(args.config)
+    print(f"simulating {workload.name} ({args.timed:,} timed instructions) "
+          f"on {config.name} ...")
+    result = PerformanceModel(config).run(
+        workload.trace(),
+        warmup_fraction=workload.warmup_fraction,
+        regions=workload.regions(),
+    )
+    print(result.summary())
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    from repro.analysis import (
+        ExperimentRunner,
+        fig07_characteristics,
+        fig08_issue_width,
+        fig09_10_bht,
+        fig11_12_13_l1,
+        fig14_15_l2,
+        fig16_17_prefetch,
+        fig18_reservation,
+        standard_workloads,
+    )
+
+    workloads = standard_workloads(warm=args.warm, timed=args.timed)
+    runner = ExperimentRunner(verbose=True)
+    figure_map = {
+        "7": lambda: fig07_characteristics(workloads),
+        "8": lambda: fig08_issue_width(workloads, runner),
+        "9": lambda: fig09_10_bht(workloads, runner),
+        "11": lambda: fig11_12_13_l1(workloads, runner),
+        "14": lambda: fig14_15_l2(
+            workloads,
+            runner,
+            smp_cpus=args.smp_cpus,
+            # SMP runs use shorter per-CPU traces to stay tractable.
+            smp_workload_override=__import__(
+                "repro.analysis.workloads", fromlist=["smp_workload"]
+            ).smp_workload(
+                args.smp_cpus,
+                warm=min(args.warm, 20_000),
+                timed=min(args.timed, 6_000),
+            ),
+        ),
+        "16": lambda: fig16_17_prefetch(workloads, runner),
+        "18": lambda: fig18_reservation(workloads, runner),
+    }
+    wanted = figure_map.keys() if args.figure == "all" else [args.figure]
+    for key in wanted:
+        if key not in figure_map:
+            raise SystemExit(
+                f"unknown figure {key!r}; choose from: "
+                f"{', '.join(figure_map)} or 'all'"
+            )
+        result = figure_map[key]()
+        print()
+        print(result.format_table())
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from repro.trace.io import write_trace
+    from repro.trace.synth import TraceGenerator, standard_profiles
+
+    profiles = standard_profiles()
+    if args.workload not in profiles:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from: "
+            f"{', '.join(profiles)}"
+        )
+    generator = TraceGenerator(profiles[args.workload], seed=args.seed)
+    trace = generator.generate(args.length, name=args.workload)
+    write_trace(trace, args.output)
+    stats = trace.stats()
+    print(f"wrote {len(trace):,} records to {args.output}")
+    print(
+        f"mix: loads {stats.load_fraction:.1%}, stores {stats.store_fraction:.1%},"
+        f" branches {stats.branch_fraction:.1%}, kernel {stats.privileged_fraction:.1%}"
+    )
+
+
+def _cmd_verify(args: argparse.Namespace) -> None:
+    from repro.trace.synth import generate_trace, standard_profiles
+    from repro.verify import ReverseTracer, cross_check
+
+    trace = generate_trace(
+        standard_profiles()[args.workload], args.length, seed=args.seed
+    )
+    program, fidelity = ReverseTracer().generate(trace)
+    print(f"test program: {len(program):,} static instructions")
+    print(f"fidelity: {fidelity.as_dict()}")
+    result = cross_check(program, max_steps=4 * args.length)
+    print(
+        f"cross-check OK: both paths report {result.cycles:,} cycles for "
+        f"{result.instructions:,} instructions"
+    )
+
+
+def _cmd_smp(args: argparse.Namespace) -> None:
+    from repro.smp.system import run_smp
+    from repro.trace.synth import build_smp_generators, standard_profiles
+
+    generators = build_smp_generators(
+        standard_profiles()["TPC-C"], args.cpus, seed=args.seed
+    )
+    total = args.warm + args.timed
+    traces = [generator.generate(total) for generator in generators]
+    regions = [generator.memory_regions() for generator in generators]
+    print(f"simulating TPC-C ({args.cpus}P) ...")
+    result = run_smp(
+        _config_by_name(args.config),
+        traces,
+        warmup_fraction=args.warm / total,
+        regions_per_cpu=regions,
+    )
+    for key, value in result.as_dict().items():
+        print(f"{key:24s} {value}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SPARC64 V performance model (HPCA 2003)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="print the machine configuration")
+    p_table.add_argument("--config", default="base", choices=_CONFIGS)
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload", help="e.g. SPECint95, TPC-C")
+    p_run.add_argument("--config", default="base", choices=_CONFIGS)
+    p_run.add_argument("--warm", type=int, default=100_000)
+    p_run.add_argument("--timed", type=int, default=25_000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("figure", nargs="?", default="all",
+                       help="7, 8, 9, 11, 14, 16, 18, or 'all'")
+    p_fig.add_argument("--warm", type=int, default=100_000)
+    p_fig.add_argument("--timed", type=int, default=25_000)
+    p_fig.add_argument("--smp-cpus", type=int, default=16)
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic trace file")
+    p_trace.add_argument("workload")
+    p_trace.add_argument("output", help=".jsonl or .trc path")
+    p_trace.add_argument("--length", type=int, default=100_000)
+    p_trace.add_argument("--seed", type=int, default=2003)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_verify = sub.add_parser("verify", help="model vs logic-sim cross-check")
+    p_verify.add_argument("--workload", default="SPECint95")
+    p_verify.add_argument("--length", type=int, default=3000)
+    p_verify.add_argument("--seed", type=int, default=2003)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_smp = sub.add_parser("smp", help="TPC-C SMP run")
+    p_smp.add_argument("--cpus", type=int, default=4)
+    p_smp.add_argument("--config", default="base", choices=_CONFIGS)
+    p_smp.add_argument("--warm", type=int, default=20_000)
+    p_smp.add_argument("--timed", type=int, default=6_000)
+    p_smp.add_argument("--seed", type=int, default=2003)
+    p_smp.set_defaults(func=_cmd_smp)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

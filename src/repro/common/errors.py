@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by the simulator derive from
+:class:`ReproError` so callers can catch simulator problems without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent machine configuration was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internal state that should be impossible.
+
+    Raising this (rather than silently continuing) mirrors the paper's
+    methodology of treating model/logic mismatches as bugs to be fixed.
+    """
+
+
+class VerificationError(ReproError):
+    """A cross-check between two simulation paths failed.
+
+    Used by :mod:`repro.verify` when the trace-driven model and the
+    execution-driven logic simulator disagree.
+    """

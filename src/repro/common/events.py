@@ -1,0 +1,48 @@
+"""A minimal future-event list used by the bus and memory-controller models.
+
+The processor core itself is cycle-driven, but the memory side is easier
+to express as "this request's data will be valid at cycle N".  The event
+queue keeps those completions ordered and lets a component pop everything
+that matured at or before the current cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, List, Tuple
+
+
+class EventQueue:
+    """A priority queue of ``(cycle, payload)`` events.
+
+    Ties are broken by insertion order so simulation stays deterministic
+    regardless of payload types (payloads never need to be comparable).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, cycle: int, payload: Any) -> None:
+        """Schedule ``payload`` to mature at ``cycle``."""
+        heapq.heappush(self._heap, (cycle, next(self._counter), payload))
+
+    def next_cycle(self) -> int:
+        """Cycle of the earliest pending event (queue must be non-empty)."""
+        return self._heap[0][0]
+
+    def pop_due(self, cycle: int) -> Iterator[Any]:
+        """Yield every payload scheduled at or before ``cycle``, in order."""
+        while self._heap and self._heap[0][0] <= cycle:
+            yield heapq.heappop(self._heap)[2]
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

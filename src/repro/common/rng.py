@@ -1,0 +1,110 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the simulator (trace generators, workload
+profiles) draws from a :class:`DeterministicRng` seeded explicitly, so a
+given workload name + seed always produces bit-identical traces.  This is
+what makes the reproduction's "physical machine" reference runs stable
+across processes and machines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """A thin, explicitly seeded wrapper over :class:`random.Random`.
+
+    Adds the handful of distributions the trace generators need (Zipf-like
+    hot/cold selection, bounded geometric run lengths) on top of the
+    standard uniform draws.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this generator was created with."""
+        return self._seed
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Return an independent generator derived from this seed.
+
+        Forking lets one workload seed drive several independent streams
+        (code layout, data addresses, branch outcomes) without the streams
+        perturbing each other when one of them draws more numbers.
+        """
+        return DeterministicRng((self._seed * 1_000_003 + salt) & 0x7FFF_FFFF_FFFF_FFFF)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high)``."""
+        return self._random.uniform(low, high)
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        return self._random.randint(low, high)
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._random.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Choice from ``items`` with the given relative weights."""
+        return self._random.choices(items, weights=weights, k=1)[0]
+
+    def shuffled(self, items: Sequence[T]) -> list:
+        """Return a shuffled copy of ``items``."""
+        out = list(items)
+        self._random.shuffle(out)
+        return out
+
+    def geometric(self, mean: float, maximum: Optional[int] = None) -> int:
+        """Draw a run length >= 1 with roughly the requested mean.
+
+        Used for basic-block lengths and burst sizes.  The distribution is
+        geometric with success probability ``1/mean``, optionally clamped.
+        """
+        if mean <= 1.0:
+            return 1
+        p = 1.0 / mean
+        # Inverse-CDF sampling keeps this a single uniform draw.
+        u = self._random.random()
+        import math
+
+        value = 1 + int(math.log(max(u, 1e-12)) / math.log(1.0 - p))
+        if maximum is not None:
+            value = min(value, maximum)
+        return max(1, value)
+
+    def zipf_index(self, population: int, skew: float = 1.0) -> int:
+        """Draw an index in ``[0, population)`` with a Zipf-like skew.
+
+        Low indices are "hot".  ``skew`` of 0 degenerates to uniform; larger
+        values concentrate draws on the head.  Implemented via the inverse
+        power transform, which is fast and adequate for workload shaping.
+        """
+        if population <= 1:
+            return 0
+        if skew <= 0.0:
+            return self._random.randrange(population)
+        u = self._random.random()
+        # Inverse transform of a truncated power-law density.
+        index = int(population * (u ** (1.0 + skew)))
+        return min(index, population - 1)

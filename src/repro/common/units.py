@@ -1,0 +1,76 @@
+"""Unit conversion helpers.
+
+The paper states timing in a mix of nanoseconds (off-chip penalties) and
+CPU cycles.  The simulator works exclusively in cycles at the SPARC64 V
+clock of 1.3 GHz, so these helpers centralise the conversions and keep
+"+10 ns off-chip" style parameters readable in configuration code.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigError
+
+#: SPARC64 V clock frequency in GHz (Table 1).
+DEFAULT_CLOCK_GHZ = 1.3
+
+#: One CPU cycle in nanoseconds at the default clock.
+CYCLE_TIME_NS = 1.0 / DEFAULT_CLOCK_GHZ
+
+_SIZE_SUFFIXES = {
+    "B": 1,
+    "KB": 1024,
+    "MB": 1024 * 1024,
+    "GB": 1024 * 1024 * 1024,
+}
+
+
+def ns_to_cycles(nanoseconds: float, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> int:
+    """Convert a latency in nanoseconds to whole CPU cycles (rounded up).
+
+    The paper's off-chip L2 adds 10 ns, which at 1.3 GHz is 13 cycles.
+    """
+    if nanoseconds < 0:
+        raise ConfigError(f"latency must be non-negative, got {nanoseconds} ns")
+    return int(math.ceil(nanoseconds * clock_ghz))
+
+
+def parse_size(text: str) -> int:
+    """Parse a size string like ``"128KB"`` or ``"2MB"`` into bytes."""
+    stripped = text.strip().upper().replace(" ", "")
+    for suffix in ("GB", "MB", "KB", "B"):
+        if stripped.endswith(suffix):
+            number = stripped[: -len(suffix)]
+            try:
+                value = float(number)
+            except ValueError as exc:
+                raise ConfigError(f"unparseable size: {text!r}") from exc
+            return int(value * _SIZE_SUFFIXES[suffix])
+    try:
+        return int(stripped)
+    except ValueError as exc:
+        raise ConfigError(f"unparseable size: {text!r}") from exc
+
+
+def size_to_str(num_bytes: int) -> str:
+    """Render a byte count with the largest exact binary suffix."""
+    if num_bytes < 0:
+        raise ConfigError(f"size must be non-negative, got {num_bytes}")
+    for suffix in ("GB", "MB", "KB"):
+        unit = _SIZE_SUFFIXES[suffix]
+        if num_bytes >= unit and num_bytes % unit == 0:
+            return f"{num_bytes // unit}{suffix}"
+    return f"{num_bytes}B"
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for positive powers of two (cache geometry sanity checks)."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises ConfigError if not a power of two."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,30 @@
+"""Out-of-order execution core (the E-unit of Figure 4).
+
+Implements the SPARC64 V's execution machinery at the level the paper's
+performance model works: a 64-entry instruction window (commit stack),
+renaming registers (32 integer + 32 floating-point results in flight),
+four kinds of reservation stations (RSE/RSF/RSA/RSBR) with the 1RS/2RS
+organisational choice of §4.4.1, two integer units, two FP multiply-add
+units, two address-generation units, load/store queues (16/10), and the
+speculative-dispatch + data-forwarding scheme of §3.1 with cancel-and-
+replay on L1 misses.
+"""
+
+from repro.core.params import CoreParams, RsOrganization
+from repro.core.uop import Uop, UopState
+from repro.core.rename import RenameTracker
+from repro.core.reservation import ReservationStation, StationGroup
+from repro.core.lsq import LoadStoreUnit
+from repro.core.pipeline import ProcessorCore
+
+__all__ = [
+    "CoreParams",
+    "RsOrganization",
+    "Uop",
+    "UopState",
+    "RenameTracker",
+    "ReservationStation",
+    "StationGroup",
+    "LoadStoreUnit",
+    "ProcessorCore",
+]

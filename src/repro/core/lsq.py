@@ -1,0 +1,288 @@
+"""Load/store queues and the operand-access port arbitration.
+
+Models §3.2 "non-blocking dual operand access":
+
+- every memory instruction allocates a load-queue (16) or store-queue
+  (10) entry at decode, in order;
+- addresses arrive from the EAG pipelines; up to two requests per cycle
+  pass from the queues to the L1 operand cache;
+- the L1 is organised as eight 4-byte banks: two same-cycle requests to
+  the same bank conflict, and the lower-priority (younger) one aborts and
+  retries in a later cycle;
+- a request that misses stays in its queue entry until the line arrives
+  (the entry is the miss's bookkeeping);
+- stores write the cache after commit, draining the store queue;
+- loads may forward from an older same-address store once its data is in
+  the queue; loads conservatively wait for older stores with unresolved
+  addresses (no memory-dependence speculation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.core.params import CoreParams
+from repro.core.uop import FAR_FUTURE, Uop
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class _LoadEntry:
+    __slots__ = ("uop", "addr_known_at", "issued", "predicted_ready")
+
+    def __init__(self, uop: Uop) -> None:
+        self.uop = uop
+        self.addr_known_at = FAR_FUTURE
+        self.issued = False
+        self.predicted_ready = FAR_FUTURE
+
+
+class _StoreEntry:
+    __slots__ = ("uop", "addr_known_at", "data_producer", "committed_at", "write_done_at")
+
+    def __init__(self, uop: Uop, data_producer: Optional[Uop]) -> None:
+        self.uop = uop
+        self.addr_known_at = FAR_FUTURE
+        self.data_producer = data_producer
+        self.committed_at = -1
+        self.write_done_at = -1
+
+    def data_ready_cycle(self) -> int:
+        if self.data_producer is None:
+            return 0
+        return self.data_producer.result_ready
+
+
+@dataclass
+class LoadResolution:
+    """Outcome of one load reaching the L1 (reported to the engine)."""
+
+    uop: Uop
+    issue_cycle: int
+    ready_cycle: int
+    #: True when the data came at the speculatively predicted time.
+    prediction_held: bool
+    level: str  # "l1" / "l2" / "remote" / "mem" / "forward"
+
+
+class LoadStoreUnit:
+    """The S-unit face of the core: LQ, SQ, and L1D port arbitration."""
+
+    def __init__(self, params: CoreParams, hierarchy: MemoryHierarchy) -> None:
+        self.params = params
+        self.hierarchy = hierarchy
+        self._loads: List[_LoadEntry] = []
+        self._stores: List[_StoreEntry] = []
+        self._by_uop: Dict[int, object] = {}
+        # Statistics.
+        self.bank_conflicts = 0
+        self.forwards = 0
+        self.order_stalls = 0
+        self.lq_full_stalls = 0
+        self.sq_full_stalls = 0
+
+    # ------------------------------------------------------------------
+    # Allocation (decode time).
+    # ------------------------------------------------------------------
+
+    def can_allocate_load(self) -> bool:
+        if len(self._loads) >= self.params.load_queue:
+            self.lq_full_stalls += 1
+            return False
+        return True
+
+    def can_allocate_store(self) -> bool:
+        if len(self._stores) >= self.params.store_queue:
+            self.sq_full_stalls += 1
+            return False
+        return True
+
+    def allocate(self, uop: Uop, data_producer: Optional[Uop] = None) -> None:
+        if uop.is_load:
+            entry: object = _LoadEntry(uop)
+            self._loads.append(entry)  # type: ignore[arg-type]
+        elif uop.is_store:
+            entry = _StoreEntry(uop, data_producer)
+            self._stores.append(entry)  # type: ignore[arg-type]
+        else:
+            raise SimulationError("LSQ allocate for non-memory uop")
+        self._by_uop[uop.seq] = entry
+
+    # ------------------------------------------------------------------
+    # Address generation / replay hooks (engine-driven).
+    # ------------------------------------------------------------------
+
+    def address_generated(self, uop: Uop, cycle: int, predicted_ready: int) -> None:
+        """EAG produced the effective address at ``cycle``."""
+        entry = self._by_uop.get(uop.seq)
+        if entry is None:
+            raise SimulationError(f"address for unknown LSQ entry #{uop.seq}")
+        if isinstance(entry, _LoadEntry):
+            entry.addr_known_at = cycle
+            entry.issued = False
+            entry.predicted_ready = predicted_ready
+        else:
+            entry.addr_known_at = cycle  # type: ignore[union-attr]
+
+    def load_cancelled(self, uop: Uop) -> None:
+        """A load was cancelled before issue (its address was speculative)."""
+        entry = self._by_uop.get(uop.seq)
+        if isinstance(entry, _LoadEntry):
+            entry.addr_known_at = FAR_FUTURE
+            entry.issued = False
+
+    def store_committed(self, uop: Uop, cycle: int) -> None:
+        entry = self._by_uop.get(uop.seq)
+        if not isinstance(entry, _StoreEntry):
+            raise SimulationError(f"commit of unknown store #{uop.seq}")
+        entry.committed_at = cycle
+
+    def release(self, uop: Uop) -> None:
+        """Free a load entry at commit (stores free after their write)."""
+        entry = self._by_uop.pop(uop.seq, None)
+        if isinstance(entry, _LoadEntry):
+            self._loads.remove(entry)
+        elif isinstance(entry, _StoreEntry):
+            self._stores.remove(entry)
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation.
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> Tuple[List[LoadResolution], bool]:
+        """Issue up to ``l1d_ports`` requests; returns (resolutions, activity)."""
+        resolutions: List[LoadResolution] = []
+        activity = False
+        ports_left = self.params.l1d_ports
+        banks_used: Dict[int, bool] = {}
+
+        # Drain committed stores and issue ready loads, oldest first.
+        candidates: List[Tuple[int, object]] = []
+        for load in self._loads:
+            if (
+                not load.issued
+                and load.addr_known_at <= cycle
+                and load.uop.state.value < 2  # not DONE/COMMITTED
+            ):
+                candidates.append((load.uop.seq, load))
+        for store in self._stores:
+            if (
+                store.committed_at >= 0
+                and store.write_done_at < 0
+                and store.addr_known_at <= cycle
+            ):
+                candidates.append((store.uop.seq, store))
+        candidates.sort(key=lambda pair: pair[0])
+
+        for _, entry in candidates:
+            if ports_left <= 0:
+                break
+            banked = self.hierarchy.l1d.geometry.banks > 1
+            if isinstance(entry, _LoadEntry):
+                outcome = self._try_issue_load(entry, cycle, banks_used, banked)
+                if outcome == "conflict":
+                    self.bank_conflicts += 1
+                    continue
+                if outcome == "blocked":
+                    continue
+                ports_left -= 1
+                activity = True
+                resolutions.append(outcome)  # type: ignore[arg-type]
+            else:
+                bank = self.hierarchy.bank_of(entry.uop.record.ea)
+                if banked and banks_used.get(bank):
+                    self.bank_conflicts += 1
+                    continue
+                banks_used[bank] = True
+                result = self.hierarchy.store(cycle, entry.uop.record.ea)
+                entry.write_done_at = result.ready_cycle
+                ports_left -= 1
+                activity = True
+
+        # Lazily reap written-back stores.
+        finished = [
+            store
+            for store in self._stores
+            if 0 <= store.write_done_at <= cycle
+        ]
+        for store in finished:
+            self._stores.remove(store)
+            self._by_uop.pop(store.uop.seq, None)
+            activity = True
+
+        return resolutions, activity
+
+    def _try_issue_load(
+        self, entry: _LoadEntry, cycle: int, banks_used: Dict[int, bool], banked: bool = True
+    ):
+        uop = entry.uop
+        ea = uop.record.ea
+        aligned = ea & ~0x7
+
+        # Memory-order check against older stores.
+        blocking_store: Optional[_StoreEntry] = None
+        forward_from: Optional[_StoreEntry] = None
+        for store in self._stores:
+            if store.uop.seq > uop.seq:
+                continue
+            if store.addr_known_at > cycle:
+                blocking_store = store
+                break
+            if store.uop.record.ea & ~0x7 == aligned:
+                forward_from = store  # youngest older matching store wins
+        if blocking_store is not None:
+            self.order_stalls += 1
+            return "blocked"
+
+        if forward_from is not None:
+            data_ready = forward_from.data_ready_cycle()
+            if data_ready >= FAR_FUTURE or data_ready > cycle:
+                self.order_stalls += 1
+                return "blocked"
+            entry.issued = True
+            self.forwards += 1
+            ready = cycle + 1
+            return LoadResolution(
+                uop=uop,
+                issue_cycle=cycle,
+                ready_cycle=ready,
+                prediction_held=ready <= entry.predicted_ready,
+                level="forward",
+            )
+
+        bank = self.hierarchy.bank_of(ea)
+        if banked and banks_used.get(bank):
+            return "conflict"
+        banks_used[bank] = True
+        result = self.hierarchy.load(cycle, ea)
+        entry.issued = True
+        return LoadResolution(
+            uop=uop,
+            issue_cycle=cycle,
+            ready_cycle=result.ready_cycle,
+            prediction_held=result.ready_cycle <= entry.predicted_ready,
+            level=result.level,
+        )
+
+    # ------------------------------------------------------------------
+
+    def pending_work_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which the LSU has something to do."""
+        best: Optional[int] = None
+        for load in self._loads:
+            if not load.issued and load.addr_known_at < FAR_FUTURE:
+                candidate = max(load.addr_known_at, cycle + 1)
+                best = candidate if best is None else min(best, candidate)
+        for store in self._stores:
+            if store.write_done_at >= 0:
+                candidate = max(store.write_done_at, cycle + 1)
+            elif store.committed_at >= 0 and store.addr_known_at < FAR_FUTURE:
+                candidate = max(store.addr_known_at, cycle + 1)
+            else:
+                continue
+            best = candidate if best is None else min(best, candidate)
+        return best
+
+    def occupancy(self) -> Tuple[int, int]:
+        return len(self._loads), len(self._stores)

@@ -1,0 +1,111 @@
+"""Core configuration parameters.
+
+Defaults reproduce Table 1.  The alternative values exercised by the
+paper's studies (2-way issue for Figure 8, 1RS for Figure 18, speculative
+dispatch and forwarding ablations for §3.1) are all expressed through
+this dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict
+
+from repro.common.errors import ConfigError
+from repro.isa.opcodes import EXECUTION_LATENCY, OpClass
+
+
+class RsOrganization(str, Enum):
+    """Reservation-station organisation for RSE/RSF (§4.4.1).
+
+    - ``TWO_RS`` (production): two stations per unit pair, each tied to a
+      unique execution unit, one dispatch per station per cycle.
+    - ``ONE_RS``: a single double-size station dispatching up to two
+      operations per cycle to either unit — slightly better IPC, rejected
+      for dispatch-stage complexity.
+    """
+
+    TWO_RS = "2RS"
+    ONE_RS = "1RS"
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Execution-core configuration (defaults = Table 1)."""
+
+    #: Instructions decoded/issued into the window per cycle.
+    issue_width: int = 4
+    #: Instructions committed per cycle.
+    commit_width: int = 4
+    #: Instruction window (commit stack) entries.
+    window_size: int = 64
+    #: Renaming registers for integer / floating-point results.
+    int_rename: int = 32
+    fp_rename: int = 32
+
+    rs_organization: RsOrganization = RsOrganization.TWO_RS
+    #: Entries per RSE/RSF buffer (8/8 in 2RS; combined 16 in 1RS).
+    rse_entries: int = 8
+    rsf_entries: int = 8
+    rsa_entries: int = 10
+    rsbr_entries: int = 10
+
+    int_units: int = 2
+    fp_units: int = 2
+    eag_units: int = 2
+
+    load_queue: int = 16
+    store_queue: int = 10
+    #: Requests per cycle between the operand pipeline and the L1 (§3.2).
+    l1d_ports: int = 2
+
+    #: Pipeline stages between RS dispatch and execution (§3.1: dispatch,
+    #: register read, execute — minimum three-stage execution pipeline).
+    dispatch_to_exec: int = 2
+
+    #: §3.1 techniques.
+    speculative_dispatch: bool = True
+    data_forwarding: bool = True
+    #: Extra result-to-use delay when data forwarding is disabled (results
+    #: must be written to and re-read from the register file).
+    no_forwarding_penalty: int = 2
+
+    #: Serialise SPECIAL instructions at the window head (detailed model);
+    #: when False they execute like ALU ops with ``special_latency``
+    #: (the pre-v5 flat experimental penalty of §5).
+    special_serialize: bool = True
+    special_latency: int = 12
+
+    #: Per-class execution latency overrides.
+    latency_overrides: Dict[OpClass, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1 or self.commit_width < 1:
+            raise ConfigError("issue/commit width must be >= 1")
+        if self.window_size < self.issue_width:
+            raise ConfigError("window must hold at least one issue group")
+        if self.int_rename < 1 or self.fp_rename < 1:
+            raise ConfigError("rename register counts must be positive")
+        if min(self.rse_entries, self.rsf_entries, self.rsa_entries, self.rsbr_entries) < 1:
+            raise ConfigError("reservation stations need at least one entry")
+        if self.int_units < 1 or self.fp_units < 1 or self.eag_units < 1:
+            raise ConfigError("need at least one unit of each kind")
+        if self.load_queue < 1 or self.store_queue < 1:
+            raise ConfigError("load/store queues must be positive")
+        if self.l1d_ports < 1:
+            raise ConfigError("need at least one L1D port")
+        if self.dispatch_to_exec < 1:
+            raise ConfigError("dispatch_to_exec must be >= 1")
+
+    def latency_of(self, op: OpClass) -> int:
+        """Execution latency for a non-load instruction class."""
+        if op in self.latency_overrides:
+            return self.latency_overrides[op]
+        if op == OpClass.SPECIAL:
+            return self.special_latency
+        return EXECUTION_LATENCY[op]
+
+    def derived(self, **changes) -> "CoreParams":
+        """Copy with the given fields replaced."""
+        return replace(self, **changes)

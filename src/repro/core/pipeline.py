@@ -1,0 +1,585 @@
+"""The out-of-order pipeline engine.
+
+Cycle-driven model of the SPARC64 V core, driven by a fetch unit that
+consumes a trace.  Per cycle, in this order:
+
+1. completion events (execution finishing, branch resolution);
+2. in-order commit of up to four instructions from the window head;
+3. load/store unit: up to two requests to the L1 operand cache, with
+   bank-conflict arbitration (§3.2);
+4. dispatch from reservation stations, speculatively when enabled (§3.1);
+5. decode of up to four instructions into the window, allocating rename
+   registers, station entries and LSQ entries;
+6. fetch of one group.
+
+**Speculative dispatch and replay.**  A dispatching instruction may use a
+producer whose result is not final (an unresolved load, or something
+downstream of one).  It registers as a *waiter* on each such producer.
+When a load resolves at its predicted L1-hit time, waiters are confirmed;
+when it resolves late (miss, bank-conflict delay, TLB walk), every waiter
+is cancelled recursively — returned to its reservation station for
+re-dispatch — reproducing §3.1's "all instructions that have
+read-after-write dependency must be cancelled at every stage".
+Cancellation epochs invalidate the stale completion events.
+
+**Mispredicted branches.**  The model is trace-driven and single-path:
+fetch blocks at a mispredicted branch and resumes when the branch
+resolves, so the misprediction penalty is the dead fetch time plus the
+pipeline refill — the same accounting the paper's model uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.core.lsq import LoadResolution, LoadStoreUnit
+from repro.core.params import CoreParams, RsOrganization
+from repro.core.rename import RenameTracker
+from repro.core.reservation import ReservationStation, StationGroup
+from repro.core.uop import FAR_FUTURE, Uop, UopState
+from repro.frontend.bht import BhtParams
+from repro.frontend.fetch import FetchedInstruction, FetchUnit, FrontEndParams
+from repro.isa.opcodes import OpClass, uses_rsa, uses_rsbr, uses_rse, uses_rsf
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.stream import Trace
+
+#: Abort threshold for a wedged simulation (no activity, no wake events).
+_DEADLOCK_LIMIT = 100_000
+
+
+@dataclass
+class CoreStats:
+    """Raw counters produced by one core run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    replays: int = 0
+    dispatches: int = 0
+    load_level_counts: Dict[str, int] = field(default_factory=dict)
+    decode_stalls: Dict[str, int] = field(default_factory=dict)
+    bank_conflicts: int = 0
+    store_forwards: int = 0
+    order_stalls: int = 0
+    fetch_icache_stall_cycles: int = 0
+    fetch_taken_bubble_cycles: int = 0
+    branch_mispredictions: int = 0
+    conditional_branches: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def misprediction_ratio(self) -> float:
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.branch_mispredictions / self.conditional_branches
+
+
+class ProcessorCore:
+    """One SPARC64 V core executing one trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        hierarchy: MemoryHierarchy,
+        core_params: CoreParams,
+        frontend_params: FrontEndParams,
+        bht_params: BhtParams,
+    ) -> None:
+        self.params = core_params
+        self.hierarchy = hierarchy
+        self.fetch = FetchUnit(trace, hierarchy, bht_params, frontend_params)
+        self.lsu = LoadStoreUnit(core_params, hierarchy)
+        self.rename = RenameTracker(core_params.int_rename, core_params.fp_rename)
+        self._build_stations(core_params)
+        self.window: List[Uop] = []  # treated as a FIFO; head at index 0
+        self._window_head = 0
+        self._seq = 0
+        self._events: List[tuple] = []  # (cycle, counter, kind, epoch, uop, payload)
+        self._event_counter = 0
+        self._wakes: List[int] = []
+        self._trace_length = len(trace)
+        self._committed = 0
+        self.stats = CoreStats()
+        self._decode_stalls = {
+            "window": 0,
+            "rename_int": 0,
+            "rename_fp": 0,
+            "rs": 0,
+            "lq": 0,
+            "sq": 0,
+        }
+        self._load_levels: Dict[str, int] = {}
+        self.cycle = 0
+
+    def _build_stations(self, params: CoreParams) -> None:
+        if params.rs_organization is RsOrganization.TWO_RS:
+            rse = [
+                ReservationStation(f"RSE{i}", params.rse_entries, 1)
+                for i in range(params.int_units)
+            ]
+            rsf = [
+                ReservationStation(f"RSF{i}", params.rsf_entries, 1)
+                for i in range(params.fp_units)
+            ]
+        else:
+            rse = [
+                ReservationStation(
+                    "RSE", params.rse_entries * params.int_units, params.int_units
+                )
+            ]
+            rsf = [
+                ReservationStation(
+                    "RSF", params.rsf_entries * params.fp_units, params.fp_units
+                )
+            ]
+        self.rse = StationGroup("RSE", rse)
+        self.rsf = StationGroup("RSF", rsf)
+        self.rsa = ReservationStation("RSA", params.rsa_entries, params.eag_units)
+        self.rsbr = ReservationStation("RSBR", params.rsbr_entries, 1)
+        self._all_stations: List[ReservationStation] = rse + rsf + [self.rsa, self.rsbr]
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once every trace instruction has committed."""
+        return self._committed >= self._trace_length
+
+    def step_cycle(self, cycle: int) -> bool:
+        """Advance all pipeline phases for one cycle; True on any activity."""
+        self.cycle = cycle
+        activity = self._process_events(cycle)
+        newly_committed = self._commit(cycle)
+        self._committed += newly_committed
+        activity |= newly_committed > 0
+
+        resolutions, lsu_active = self.lsu.step(cycle)
+        activity |= lsu_active
+        for resolution in resolutions:
+            self._schedule_resolution(resolution)
+            activity = True
+
+        activity |= self._dispatch(cycle)
+        activity |= self._decode(cycle)
+
+        buffered_before = len(self.fetch._buffer)
+        self.fetch.step(cycle)
+        activity |= len(self.fetch._buffer) != buffered_before
+        return activity
+
+    def run(self, max_cycles: Optional[int] = None) -> CoreStats:
+        """Simulate until the whole trace commits; returns the statistics."""
+        cycle = 0
+        idle_streak = 0
+        while not self.finished:
+            if max_cycles is not None and cycle > max_cycles:
+                raise SimulationError(f"exceeded max_cycles={max_cycles}")
+            if self.step_cycle(cycle):
+                idle_streak = 0
+                cycle += 1
+            else:
+                idle_streak += 1
+                if idle_streak > _DEADLOCK_LIMIT:
+                    raise SimulationError(
+                        f"deadlock at cycle {cycle}: committed {self._committed}/"
+                        f"{self._trace_length}, window {self._window_size()}"
+                    )
+                cycle = self._next_cycle(cycle)
+        self.finalize_stats(cycle)
+        return self.stats
+
+    def finalize_stats(self, cycles: int) -> CoreStats:
+        """Populate the statistics object after the last commit."""
+        self.stats.cycles = cycles
+        self.stats.instructions = self._committed
+        self.stats.decode_stalls = dict(self._decode_stalls)
+        self.stats.load_level_counts = dict(self._load_levels)
+        self.stats.bank_conflicts = self.lsu.bank_conflicts
+        self.stats.store_forwards = self.lsu.forwards
+        self.stats.order_stalls = self.lsu.order_stalls
+        self.stats.fetch_icache_stall_cycles = self.fetch.icache_stall_cycles
+        self.stats.fetch_taken_bubble_cycles = self.fetch.taken_bubble_cycles
+        self.stats.branch_mispredictions = self.fetch.bht.stats.mispredictions
+        self.stats.conditional_branches = self.fetch.bht.stats.conditional_branches
+        return self.stats
+
+    def _next_cycle(self, cycle: int) -> int:
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        while self._wakes and self._wakes[0] <= cycle:
+            heapq.heappop(self._wakes)
+        if self._wakes:
+            candidates.append(self._wakes[0])
+        fetch_wake = self.fetch.next_wake_cycle()
+        if fetch_wake is not None and fetch_wake > cycle:
+            candidates.append(fetch_wake)
+        lsu_wake = self.lsu.pending_work_cycle(cycle)
+        if lsu_wake is not None:
+            candidates.append(lsu_wake)
+        for station in self._all_stations:
+            if station.next_eligible is not None and station.next_eligible > cycle:
+                candidates.append(station.next_eligible)
+        if not candidates:
+            return cycle + 1
+        return max(cycle + 1, min(candidates))
+
+    def _wake(self, cycle: int) -> None:
+        heapq.heappush(self._wakes, cycle)
+
+    def _window_size(self) -> int:
+        return len(self.window) - self._window_head
+
+    # ------------------------------------------------------------------
+    # Phase 1: completion events.
+    # ------------------------------------------------------------------
+
+    def _schedule_done(self, uop: Uop, cycle: int) -> None:
+        self._event_counter += 1
+        heapq.heappush(
+            self._events, (cycle, self._event_counter, "done", uop.epoch, uop, None)
+        )
+
+    def _schedule_resolution(self, resolution: LoadResolution) -> None:
+        """Queue a load's hit/miss outcome to become visible to the core.
+
+        The L1 reports hit/miss when the speculatively scheduled data
+        would have been forwarded — one hit-latency after issue — so
+        dependents keep dispatching against the hit prediction until then
+        (this window is what makes cancel-and-replay happen at all, §3.1).
+        Store-forwarded data is known immediately.
+        """
+        uop = resolution.uop
+        if resolution.level == "forward":
+            apply_at = resolution.ready_cycle
+        else:
+            apply_at = resolution.issue_cycle + self.hierarchy.l1d.geometry.hit_latency
+        self._event_counter += 1
+        heapq.heappush(
+            self._events,
+            (apply_at, self._event_counter, "resolve", uop.epoch, uop, resolution),
+        )
+
+    def _process_events(self, cycle: int) -> bool:
+        activity = False
+        while self._events and self._events[0][0] <= cycle:
+            event_cycle, _, kind, epoch, uop, payload = heapq.heappop(self._events)
+            if uop.epoch != epoch or uop.state != UopState.INFLIGHT:
+                continue  # stale (cancelled and possibly re-dispatched)
+            if kind == "resolve":
+                self._apply_load_resolution(payload, event_cycle)
+            else:
+                uop.state = UopState.DONE
+                if not uop.confirmed:
+                    self._confirm(uop)
+                if uop.is_branch and uop.mispredicted:
+                    self.fetch.redirect(cycle)
+            activity = True
+        return activity
+
+    # ------------------------------------------------------------------
+    # Phase 2: commit.
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> int:
+        committed = 0
+        while committed < self.params.commit_width and self._window_head < len(self.window):
+            uop = self.window[self._window_head]
+            if uop.state != UopState.DONE or uop.done_cycle > cycle:
+                break
+            if uop.is_store and not self._store_data_ready(uop, cycle):
+                break
+            uop.state = UopState.COMMITTED
+            uop.commit_cycle = cycle
+            self.rename.release(uop)
+            if uop.holds_rs_entry:
+                uop.station.free(uop)
+            if uop.is_load:
+                self.lsu.release(uop)
+                self.stats.loads += 1
+            elif uop.is_store:
+                self.lsu.store_committed(uop, cycle)
+                self.stats.stores += 1
+            elif uop.is_branch:
+                self.stats.branches += 1
+            self._window_head += 1
+            committed += 1
+        # Compact the window list occasionally.
+        if self._window_head > 256:
+            del self.window[: self._window_head]
+            self._window_head = 0
+        return committed
+
+    def _store_data_ready(self, uop: Uop, cycle: int) -> bool:
+        entry = self.lsu._by_uop.get(uop.seq)
+        if entry is None:
+            return True
+        producer = getattr(entry, "data_producer", None)
+        if producer is None or producer.state == UopState.COMMITTED:
+            return True
+        if producer.state == UopState.DONE and producer.result_ready <= cycle:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase 3: load resolution (after LSU issue).
+    # ------------------------------------------------------------------
+
+    def _apply_load_resolution(self, resolution: LoadResolution, cycle: int) -> None:
+        uop = resolution.uop
+        if uop.state != UopState.INFLIGHT:
+            return  # cancelled between address generation and issue
+        ready = resolution.ready_cycle
+        if not self.params.data_forwarding:
+            ready += self.params.no_forwarding_penalty
+        uop.result_ready = ready
+        uop.done_cycle = ready
+        self._load_levels[resolution.level] = self._load_levels.get(resolution.level, 0) + 1
+        if not resolution.prediction_held:
+            self._cancel_waiters(uop, ready)
+        uop.confirmed = True
+        self._confirm(uop, becoming_done=False)
+        self._schedule_done(uop, ready)
+        self._wake(ready)
+
+    # ------------------------------------------------------------------
+    # Confirmation / cancellation.
+    # ------------------------------------------------------------------
+
+    def _confirm(self, uop: Uop, becoming_done: bool = True) -> None:
+        """Producer ``uop``'s timing is now final; release its waiters."""
+        uop.confirmed = True
+        waiters = uop.waiters
+        uop.waiters = []
+        for waiter, epoch in waiters:
+            if waiter.epoch != epoch or waiter.state != UopState.INFLIGHT:
+                continue
+            waiter.unconfirmed -= 1
+            if waiter.unconfirmed <= 0:
+                if waiter.holds_rs_entry:
+                    waiter.station.free(waiter)
+                if not waiter.is_load and not waiter.confirmed:
+                    self._confirm(waiter)
+
+    def _cancel_waiters(self, uop: Uop, producer_ready: int) -> None:
+        waiters = uop.waiters
+        uop.waiters = []
+        exec_offset = self.params.dispatch_to_exec
+        earliest = max(producer_ready - exec_offset, 0)
+        for waiter, epoch in waiters:
+            if waiter.epoch != epoch or waiter.state != UopState.INFLIGHT:
+                continue
+            self._cancel(waiter, earliest)
+
+    def _cancel(self, uop: Uop, earliest: int) -> None:
+        self.stats.replays += 1
+        uop.replays += 1
+        uop.epoch += 1
+        uop.state = UopState.WAITING
+        uop.result_ready = FAR_FUTURE
+        uop.done_cycle = FAR_FUTURE
+        uop.confirmed = False
+        uop.unconfirmed = 0
+        uop.earliest_dispatch = earliest
+        if not uop.holds_rs_entry:
+            # The entry was released on a confirmation that later proved
+            # wrong — impossible by construction, but re-insert defensively.
+            uop.station.insert(uop)
+        if uop.is_load:
+            self.lsu.load_cancelled(uop)
+        self._cancel_waiters(uop, earliest)
+        self._wake(earliest)
+
+    # ------------------------------------------------------------------
+    # Phase 4: dispatch.
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> bool:
+        speculative = self.params.speculative_dispatch
+        exec_offset = self.params.dispatch_to_exec
+        activity = False
+        for station in self._all_stations:
+            selected = station.select(cycle, exec_offset, speculative)
+            for slot, uop in enumerate(selected):
+                if (
+                    uop.op == OpClass.SPECIAL
+                    and self.params.special_serialize
+                    and not self._is_oldest(uop)
+                ):
+                    continue
+                self._do_dispatch(uop, cycle, station, slot)
+                activity = True
+        return activity
+
+    def _is_oldest(self, uop: Uop) -> bool:
+        return (
+            self._window_head < len(self.window)
+            and self.window[self._window_head] is uop
+        )
+
+    def _do_dispatch(
+        self, uop: Uop, cycle: int, station: ReservationStation, slot: int
+    ) -> None:
+        params = self.params
+        uop.state = UopState.INFLIGHT
+        uop.dispatch_cycle = cycle
+        station.dispatches += 1
+        self.stats.dispatches += 1
+        exec_start = cycle + params.dispatch_to_exec
+
+        # Register on unconfirmed producers for cancel/confirm tracking.
+        unconfirmed = 0
+        for producer in uop.producers:
+            if producer.state == UopState.INFLIGHT and not producer.confirmed:
+                producer.waiters.append((uop, uop.epoch))
+                unconfirmed += 1
+        uop.unconfirmed = unconfirmed
+        uop.speculative = unconfirmed > 0
+
+        op = uop.op
+        if uop.is_load:
+            addr_ready = exec_start + 1  # EAG latency
+            predicted = addr_ready + self.hierarchy.l1d.geometry.hit_latency
+            uop.result_ready = predicted  # speculative prediction (§3.1)
+            uop.confirmed = False
+            self.lsu.address_generated(uop, addr_ready, predicted)
+            if unconfirmed == 0 and uop.holds_rs_entry:
+                station.free(uop)
+            self._wake(addr_ready)
+            return
+        if uop.is_store:
+            addr_ready = exec_start + 1
+            self.lsu.address_generated(uop, addr_ready, 0)
+            uop.done_cycle = addr_ready
+            uop.confirmed = unconfirmed == 0
+            if uop.confirmed and uop.holds_rs_entry:
+                station.free(uop)
+            self._schedule_done(uop, addr_ready)
+            return
+
+        latency = params.latency_of(op)
+        done = exec_start + latency
+        result_ready = done
+        if not params.data_forwarding:
+            result_ready += params.no_forwarding_penalty
+        uop.result_ready = result_ready
+        uop.done_cycle = done
+        uop.confirmed = unconfirmed == 0
+        if uop.confirmed and uop.holds_rs_entry:
+            station.free(uop)
+        if op in (OpClass.INT_DIV, OpClass.FP_DIV):
+            station.unit_busy[slot % station.dispatch_width] = done
+        self._schedule_done(uop, done)
+
+    # ------------------------------------------------------------------
+    # Phase 5: decode.
+    # ------------------------------------------------------------------
+
+    def _decode(self, cycle: int) -> bool:
+        decoded = 0
+        while decoded < self.params.issue_width:
+            fetched = self._peek_fetch(cycle)
+            if fetched is None:
+                break
+            if not self._can_decode(fetched):
+                break
+            self._pop_fetch()
+            self._make_uop(fetched, cycle)
+            decoded += 1
+        return decoded > 0
+
+    def _peek_fetch(self, cycle: int) -> Optional[FetchedInstruction]:
+        buffer = self.fetch._buffer
+        if buffer and buffer[0].avail_cycle <= cycle:
+            return buffer[0]
+        return None
+
+    def _pop_fetch(self) -> FetchedInstruction:
+        return self.fetch._buffer.popleft()
+
+    def _can_decode(self, fetched: FetchedInstruction) -> bool:
+        record = fetched.record
+        if self._window_size() >= self.params.window_size:
+            self._decode_stalls["window"] += 1
+            return False
+        kind = self.rename.dest_kind(record.dest)
+        if not self.rename.can_allocate(kind):
+            self._decode_stalls["rename_int" if kind == "int" else "rename_fp"] += 1
+            return False
+        op = record.op
+        if uses_rse(op):
+            if self.rse.station_for_insert() is None:
+                self._decode_stalls["rs"] += 1
+                return False
+        elif uses_rsf(op):
+            if self.rsf.station_for_insert() is None:
+                self._decode_stalls["rs"] += 1
+                return False
+        elif uses_rsa(op):
+            if not self.rsa.has_space():
+                self._decode_stalls["rs"] += 1
+                return False
+            if op == OpClass.LOAD and not self.lsu.can_allocate_load():
+                self._decode_stalls["lq"] += 1
+                return False
+            if op == OpClass.STORE and not self.lsu.can_allocate_store():
+                self._decode_stalls["sq"] += 1
+                return False
+        elif uses_rsbr(op):
+            if not self.rsbr.has_space():
+                self._decode_stalls["rs"] += 1
+                return False
+        return True
+
+    def _make_uop(self, fetched: FetchedInstruction, cycle: int) -> None:
+        record = fetched.record
+        uop = Uop(self._seq, record, cycle)
+        self._seq += 1
+        uop.mispredicted = fetched.mispredicted
+
+        # Producer edges.  For stores the final source is the data operand,
+        # which gates the queue write, not the address generation.
+        srcs = record.srcs
+        data_producer: Optional[Uop] = None
+        if uop.is_store and srcs:
+            data_producer = self.rename.producer_of(srcs[-1])
+            srcs = srcs[:-1]
+        producers = []
+        for src in srcs:
+            producer = self.rename.producer_of(src)
+            if producer is not None and producer not in producers:
+                producers.append(producer)
+        uop.producers = tuple(producers)
+
+        self.rename.allocate(uop)
+
+        op = record.op
+        if uses_rse(op):
+            station = self.rse.station_for_insert()
+        elif uses_rsf(op):
+            station = self.rsf.station_for_insert()
+        elif uses_rsa(op):
+            station = self.rsa
+        else:
+            station = self.rsbr
+        if station is None:  # pragma: no cover - guarded by _can_decode
+            raise SimulationError("decode without station space")
+        station.insert(uop)
+
+        if uop.is_load or uop.is_store:
+            self.lsu.allocate(uop, data_producer)
+
+        self.window.append(uop)

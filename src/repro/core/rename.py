@@ -1,0 +1,84 @@
+"""Register renaming state.
+
+Tracks, per architected register, the youngest in-flight producer, and
+enforces the renaming-register capacity of Table 1: up to 32 integer and
+32 floating-point results may be held in renaming registers.  Condition
+codes are renamed too but their pool is not a bottleneck and is not
+capacity-limited in the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import SimulationError
+from repro.isa.registers import FCC, ICC, is_fp_reg, is_int_reg
+from repro.core.uop import Uop, UopState
+
+
+class RenameTracker:
+    """Architected-register to in-flight-producer map with capacity."""
+
+    def __init__(self, int_capacity: int, fp_capacity: int) -> None:
+        self.int_capacity = int_capacity
+        self.fp_capacity = fp_capacity
+        self._producers: Dict[int, Uop] = {}
+        self.int_in_use = 0
+        self.fp_in_use = 0
+        self.int_full_stalls = 0
+        self.fp_full_stalls = 0
+
+    @staticmethod
+    def dest_kind(reg_id: int) -> Optional[str]:
+        """Rename pool for a destination register id."""
+        if reg_id < 0:
+            return None
+        if is_int_reg(reg_id):
+            return "int"
+        if is_fp_reg(reg_id):
+            return "fp"
+        if reg_id in (ICC, FCC):
+            return "cc"
+        raise SimulationError(f"unknown destination register id {reg_id}")
+
+    def can_allocate(self, kind: Optional[str]) -> bool:
+        """True if a rename register of ``kind`` is available."""
+        if kind == "int":
+            if self.int_in_use >= self.int_capacity:
+                self.int_full_stalls += 1
+                return False
+        elif kind == "fp":
+            if self.fp_in_use >= self.fp_capacity:
+                self.fp_full_stalls += 1
+                return False
+        return True
+
+    def producer_of(self, reg_id: int) -> Optional[Uop]:
+        """Youngest in-flight producer of ``reg_id``, if any."""
+        producer = self._producers.get(reg_id)
+        if producer is None or producer.state == UopState.COMMITTED:
+            return None
+        return producer
+
+    def allocate(self, uop: Uop) -> None:
+        """Record ``uop`` as the producer of its destination."""
+        dest = uop.record.dest
+        if dest < 0:
+            return
+        kind = self.dest_kind(dest)
+        uop.dest_kind = kind
+        if kind == "int":
+            self.int_in_use += 1
+        elif kind == "fp":
+            self.fp_in_use += 1
+        self._producers[dest] = uop
+
+    def release(self, uop: Uop) -> None:
+        """Free the rename register at commit."""
+        if uop.dest_kind == "int":
+            self.int_in_use -= 1
+        elif uop.dest_kind == "fp":
+            self.fp_in_use -= 1
+        dest = uop.record.dest
+        if dest >= 0 and self._producers.get(dest) is uop:
+            del self._producers[dest]

@@ -1,0 +1,111 @@
+"""In-flight instruction state.
+
+A :class:`Uop` is one dynamic instruction from decode to commit.  It
+carries its producers (register-dependence edges to older in-flight
+uops), its timing milestones, and the speculative-dispatch bookkeeping:
+waiters registered on unresolved producers, and a cancellation epoch that
+invalidates stale completion events after a replay (§3.1's "all
+instructions that have read-after-write dependency must be cancelled at
+every stage of the execution pipelines").
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+
+#: Sentinel "unknown/far future" cycle.
+FAR_FUTURE = 1 << 60
+
+
+class UopState(IntEnum):
+    """Lifecycle of an in-flight instruction."""
+
+    WAITING = 0  # in a reservation station, not yet dispatched
+    INFLIGHT = 1  # dispatched; moving through an execution pipeline
+    DONE = 2  # result produced (or branch resolved / store address ready)
+    COMMITTED = 3
+
+
+class Uop:
+    """One dynamic instruction in flight."""
+
+    __slots__ = (
+        "seq",
+        "record",
+        "state",
+        "dest_kind",
+        "producers",
+        "waiters",
+        "unconfirmed",
+        "station",
+        "holds_rs_entry",
+        "dispatch_cycle",
+        "earliest_dispatch",
+        "result_ready",
+        "done_cycle",
+        "epoch",
+        "replays",
+        "speculative",
+        "confirmed",
+        "lsq_index",
+        "mispredicted",
+        "decode_cycle",
+        "is_load",
+        "is_store",
+        "commit_cycle",
+    )
+
+    def __init__(self, seq: int, record: TraceRecord, decode_cycle: int) -> None:
+        self.seq = seq
+        self.record = record
+        self.state = UopState.WAITING
+        #: "int" / "fp" / "cc" / None — which rename pool the dest uses.
+        self.dest_kind: Optional[str] = None
+        #: Producer uops for each source still in flight at decode.
+        self.producers: Tuple["Uop", ...] = ()
+        #: Younger uops that dispatched against this uop's predicted result.
+        self.waiters: List["Uop"] = []
+        #: Count of this uop's producers that are still unconfirmed.
+        self.unconfirmed = 0
+        #: Reservation station this uop was allocated into.
+        self.station = None
+        self.holds_rs_entry = False
+        self.dispatch_cycle = -1
+        #: Dispatch not useful before this cycle (set on replay).
+        self.earliest_dispatch = 0
+        #: Cycle the result is available to dependents (FAR_FUTURE until known).
+        self.result_ready = FAR_FUTURE
+        #: Cycle execution finishes and the uop can commit.
+        self.done_cycle = FAR_FUTURE
+        #: Bumped on every cancellation; stale events carry old epochs.
+        self.epoch = 0
+        self.replays = 0
+        #: True when dispatched against an unconfirmed producer.
+        self.speculative = False
+        #: True once this uop's completion timing can no longer change.
+        self.confirmed = False
+        self.lsq_index = -1
+        self.mispredicted = False
+        self.decode_cycle = decode_cycle
+        op = record.op
+        self.is_load = op == OpClass.LOAD
+        self.is_store = op == OpClass.STORE
+        self.commit_cycle = -1
+
+    @property
+    def op(self) -> OpClass:
+        return self.record.op
+
+    @property
+    def is_branch(self) -> bool:
+        return self.record.is_branch
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<uop #{self.seq} {self.record.op.name} state={self.state.name} "
+            f"ready={'?' if self.result_ready >= FAR_FUTURE else self.result_ready}>"
+        )

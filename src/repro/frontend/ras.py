@@ -1,0 +1,46 @@
+"""Return-address stack.
+
+CALL pushes the return address; RETURN pops and predicts it.  In a
+trace-driven model the *target* is always known from the trace, so the
+RAS's contribution is whether a RETURN's redirect was predicted (top of
+stack matches) or costs a misprediction-style resolve.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return-address predictor."""
+
+    def __init__(self, depth: int = 8) -> None:
+        self.depth = max(1, depth)
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.correct = 0
+
+    def push(self, return_pc: int) -> None:
+        """Record the return address of a CALL."""
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            del self._stack[0]
+        self.pushes += 1
+
+    def predict_return(self, actual_target: int) -> bool:
+        """Pop and compare with the trace's actual return target."""
+        self.pops += 1
+        if not self._stack:
+            return False
+        predicted = self._stack.pop()
+        hit = predicted == actual_target
+        if hit:
+            self.correct += 1
+        return hit
+
+    @property
+    def accuracy(self) -> float:
+        if self.pops == 0:
+            return 0.0
+        return self.correct / self.pops

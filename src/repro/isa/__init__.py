@@ -1,0 +1,78 @@
+"""SPARC-V9 instruction-set subset.
+
+The performance model is trace-driven, so most of the simulator only needs
+the *timing-relevant* view of an instruction (its :class:`OpClass`, register
+operands, and memory/branch behaviour).  This package additionally provides
+a small functional subset of SPARC-V9 — enough semantics to execute the
+test programs produced by the Reverse Tracer (:mod:`repro.verify`) on the
+logic-simulator analog, mirroring verification loop (2) of the paper's
+Figure 3.
+"""
+
+from repro.isa.opcodes import (
+    EXECUTION_LATENCY,
+    OpClass,
+    is_branch,
+    is_fp,
+    is_memory,
+    uses_rsa,
+    uses_rsbr,
+    uses_rse,
+    uses_rsf,
+)
+from repro.isa.registers import (
+    FCC,
+    FP_REG_BASE,
+    FP_REG_COUNT,
+    G0,
+    ICC,
+    INT_REG_COUNT,
+    RegisterFile,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_int_reg,
+    reg_name,
+)
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.program import Program
+
+
+def __getattr__(name):
+    # FunctionalExecutor/ExecutionResult are loaded lazily: the executor
+    # module imports repro.trace.record (to emit trace records), which in
+    # turn imports repro.isa.opcodes — a cycle if resolved eagerly here.
+    if name in ("FunctionalExecutor", "ExecutionResult"):
+        from repro.isa import executor
+
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "OpClass",
+    "EXECUTION_LATENCY",
+    "is_branch",
+    "is_fp",
+    "is_memory",
+    "uses_rsa",
+    "uses_rsbr",
+    "uses_rse",
+    "uses_rsf",
+    "RegisterFile",
+    "INT_REG_COUNT",
+    "FP_REG_COUNT",
+    "FP_REG_BASE",
+    "G0",
+    "ICC",
+    "FCC",
+    "int_reg",
+    "fp_reg",
+    "is_int_reg",
+    "is_fp_reg",
+    "reg_name",
+    "Instruction",
+    "Mnemonic",
+    "Program",
+    "FunctionalExecutor",
+    "ExecutionResult",
+]

@@ -1,0 +1,417 @@
+"""Functional executor for the SPARC-V9 subset.
+
+Executes a finalized :class:`repro.isa.Program` instruction by
+instruction, maintaining architected register and memory state, and emits
+the dynamic instruction stream as :class:`repro.trace.TraceRecord` objects
+— the same representation the trace-driven timing model consumes.  This is
+the execution path of the "logic simulator" analog: the Reverse Tracer
+turns a trace into a program, this executor replays it, and
+:mod:`repro.verify` checks that both paths produce identical timing.
+
+Modeling notes:
+
+- SPARC delay slots are not modeled; traces are post-delay-slot dynamic
+  streams and RET returns to the instruction after its CALL (pc + 4).
+- Compare instructions (SUBCC with ``rd = %g0``) record their destination
+  as the condition-code register so the timing model sees the
+  branch-on-compare dependence.  SUBCC with a real destination records
+  that register instead (the cc dependence is dropped — the trace
+  generators never emit that form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.program import Program
+from repro.isa.registers import FCC, G0, ICC, RegisterFile, fp_reg, int_reg
+from repro.trace.record import NO_ADDR, NO_REG, TraceRecord
+
+_MASK64 = (1 << 64) - 1
+
+#: Offset added to the saved call address by RET (no delay slots).
+RETURN_OFFSET = 4
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a program to completion (or to the step limit)."""
+
+    records: List[TraceRecord]
+    registers: RegisterFile
+    memory: Dict[int, int]
+    fp_memory: Dict[int, float]
+    steps: int
+    halted: bool
+    #: Instruction index at which execution stopped.
+    stop_index: int = 0
+    trace_name: str = field(default="")
+
+
+class FunctionalExecutor:
+    """Interprets programs in the functional SPARC-V9 subset."""
+
+    def __init__(self, max_steps: int = 1_000_000, halt_on_limit: bool = False) -> None:
+        if max_steps <= 0:
+            raise SimulationError("max_steps must be positive")
+        self.max_steps = max_steps
+        #: When True, hitting the step budget ends the run gracefully
+        #: (``halted=False``) instead of raising — used for replay programs
+        #: whose control flow may not terminate by itself.
+        self.halt_on_limit = halt_on_limit
+
+    def run(self, program: Program) -> ExecutionResult:
+        """Execute ``program`` from its first instruction.
+
+        Returns the dynamic stream plus final architected state.  Raises
+        :class:`SimulationError` on division by zero, fall-through off the
+        end of text without HALT, or an unresolved branch target.
+        """
+        program.finalize()
+        regs = RegisterFile()
+        memory: Dict[int, int] = dict(program.initial_memory)
+        fp_memory: Dict[int, float] = {}
+        records: List[TraceRecord] = []
+        index = 0
+        steps = 0
+        halted = False
+
+        instructions = program.instructions
+        count = len(instructions)
+        while steps < self.max_steps:
+            if not 0 <= index < count:
+                raise SimulationError(
+                    f"execution fell off program text at index {index} "
+                    f"(program {program.name!r} has {count} instructions)"
+                )
+            inst = instructions[index]
+            if inst.mnemonic is Mnemonic.HALT:
+                halted = True
+                break
+            record, next_index = self._step(program, inst, index, regs, memory, fp_memory)
+            records.append(record)
+            index = next_index
+            steps += 1
+
+        if not halted and steps >= self.max_steps and not self.halt_on_limit:
+            raise SimulationError(
+                f"program {program.name!r} exceeded {self.max_steps} steps without HALT"
+            )
+        result = ExecutionResult(
+            records=records,
+            registers=regs,
+            memory=memory,
+            fp_memory=fp_memory,
+            steps=steps,
+            halted=halted,
+            stop_index=index,
+            trace_name=program.name,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Single-instruction semantics.
+    # ------------------------------------------------------------------
+
+    def _step(
+        self,
+        program: Program,
+        inst: Instruction,
+        index: int,
+        regs: RegisterFile,
+        memory: Dict[int, int],
+        fp_memory: Dict[int, float],
+    ) -> Tuple[TraceRecord, int]:
+        pc = program.pc_of(index)
+        mnemonic = inst.mnemonic
+        handler = _HANDLERS.get(mnemonic)
+        if handler is None:
+            raise SimulationError(f"no semantics for mnemonic {mnemonic}")
+        return handler(self, program, inst, index, pc, regs, memory, fp_memory)
+
+    # -- integer arithmetic -------------------------------------------
+
+    def _int_binop(self, program, inst, index, pc, regs, memory, fp_memory):
+        a = regs.read_int_signed(inst.rs1)
+        if inst.rs2 is not None:
+            b = regs.read_int_signed(inst.rs2)
+            srcs: Tuple[int, ...] = (int_reg(inst.rs1), int_reg(inst.rs2))
+        else:
+            b = int(inst.imm or 0)
+            srcs = (int_reg(inst.rs1),)
+        mnemonic = inst.mnemonic
+        if mnemonic is Mnemonic.ADD:
+            result = a + b
+        elif mnemonic in (Mnemonic.SUB, Mnemonic.SUBCC):
+            result = a - b
+        elif mnemonic is Mnemonic.AND:
+            result = a & b
+        elif mnemonic is Mnemonic.OR:
+            result = a | b
+        elif mnemonic is Mnemonic.XOR:
+            result = a ^ b
+        elif mnemonic is Mnemonic.SLL:
+            result = a << (b & 63)
+        elif mnemonic is Mnemonic.SRL:
+            result = (a & _MASK64) >> (b & 63)
+        elif mnemonic is Mnemonic.SRA:
+            result = a >> (b & 63)  # Python >> is arithmetic on signed ints
+        elif mnemonic is Mnemonic.ANDN:
+            result = a & ~b
+        elif mnemonic is Mnemonic.ORN:
+            result = a | ~b
+        elif mnemonic is Mnemonic.XNOR:
+            result = ~(a ^ b)
+        elif mnemonic is Mnemonic.MULX:
+            result = a * b
+        elif mnemonic is Mnemonic.SDIVX:
+            if b == 0:
+                raise SimulationError(f"division by zero at pc {pc:#x}")
+            result = int(a / b)  # truncate toward zero, as SDIVX does
+        else:  # pragma: no cover - guarded by dispatch table
+            raise SimulationError(f"unhandled integer op {mnemonic}")
+
+        signed = result if -(1 << 63) <= result < (1 << 63) else _wrap_signed(result)
+        regs.write_int(inst.rd, result)
+        dest = int_reg(inst.rd) if inst.rd != G0 else NO_REG
+        if mnemonic is Mnemonic.SUBCC:
+            regs.set_icc(signed)
+            if inst.rd == G0:
+                dest = ICC
+        record = TraceRecord(
+            pc, inst.op_class, dest=dest, srcs=srcs, privileged=inst.privileged
+        )
+        return record, index + 1
+
+    def _mov(self, program, inst, index, pc, regs, memory, fp_memory):
+        value = int(inst.imm or 0)
+        if inst.mnemonic is Mnemonic.SETHI:
+            value = (value << 10) & _MASK64
+        regs.write_int(inst.rd, value & _MASK64)
+        dest = int_reg(inst.rd) if inst.rd != G0 else NO_REG
+        record = TraceRecord(pc, inst.op_class, dest=dest, srcs=(), privileged=inst.privileged)
+        return record, index + 1
+
+    # -- floating point ------------------------------------------------
+
+    def _fp_binop(self, program, inst, index, pc, regs, memory, fp_memory):
+        a = regs.read_fp(inst.rs1)
+        b = regs.read_fp(inst.rs2 if inst.rs2 is not None else inst.rs1)
+        mnemonic = inst.mnemonic
+        srcs: Tuple[int, ...] = (fp_reg(inst.rs1),)
+        if inst.rs2 is not None:
+            srcs = (fp_reg(inst.rs1), fp_reg(inst.rs2))
+        if mnemonic is Mnemonic.FADD:
+            result = a + b
+        elif mnemonic is Mnemonic.FMUL:
+            result = a * b
+        elif mnemonic is Mnemonic.FDIV:
+            if b == 0.0:
+                result = float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+            else:
+                result = a / b
+        elif mnemonic is Mnemonic.FMADD:
+            result = a * b + regs.read_fp(inst.rd)
+            srcs = srcs + (fp_reg(inst.rd),)
+        elif mnemonic is Mnemonic.FCMP:
+            regs.set_fcc(a, b)
+            record = TraceRecord(
+                pc, inst.op_class, dest=FCC, srcs=srcs, privileged=inst.privileged
+            )
+            return record, index + 1
+        else:  # pragma: no cover
+            raise SimulationError(f"unhandled fp op {mnemonic}")
+        regs.write_fp(inst.rd, result)
+        record = TraceRecord(
+            pc, inst.op_class, dest=fp_reg(inst.rd), srcs=srcs, privileged=inst.privileged
+        )
+        return record, index + 1
+
+    # -- memory ----------------------------------------------------------
+
+    def _effective_address(self, inst: Instruction, regs: RegisterFile) -> int:
+        base = regs.read_int(inst.rs1)
+        displacement = int(inst.imm or 0)
+        if inst.rs2 is not None:
+            displacement += regs.read_int_signed(inst.rs2)
+        return (base + displacement) & _MASK64
+
+    def _load(self, program, inst, index, pc, regs, memory, fp_memory):
+        ea = self._effective_address(inst, regs)
+        aligned = ea & ~7
+        srcs: Tuple[int, ...] = (int_reg(inst.rs1),)
+        if inst.rs2 is not None:
+            srcs = (int_reg(inst.rs1), int_reg(inst.rs2))
+        if inst.mnemonic is Mnemonic.LDX:
+            regs.write_int(inst.rd, memory.get(aligned, 0))
+            dest = int_reg(inst.rd) if inst.rd != G0 else NO_REG
+        else:  # LDF
+            regs.write_fp(inst.rd, fp_memory.get(aligned, 0.0))
+            dest = fp_reg(inst.rd)
+        record = TraceRecord(
+            pc,
+            inst.op_class,
+            dest=dest,
+            srcs=srcs,
+            ea=ea,
+            size=8,
+            privileged=inst.privileged,
+        )
+        return record, index + 1
+
+    def _store(self, program, inst, index, pc, regs, memory, fp_memory):
+        ea = self._effective_address(inst, regs)
+        aligned = ea & ~7
+        addr_srcs: Tuple[int, ...] = (int_reg(inst.rs1),)
+        if inst.rs2 is not None:
+            addr_srcs = (int_reg(inst.rs1), int_reg(inst.rs2))
+        if inst.mnemonic is Mnemonic.STX:
+            memory[aligned] = regs.read_int(inst.rd)
+            srcs = addr_srcs + (int_reg(inst.rd),)
+        else:  # STF
+            fp_memory[aligned] = regs.read_fp(inst.rd)
+            srcs = addr_srcs + (fp_reg(inst.rd),)
+        record = TraceRecord(
+            pc,
+            inst.op_class,
+            dest=NO_REG,
+            srcs=srcs,
+            ea=ea,
+            size=8,
+            privileged=inst.privileged,
+        )
+        return record, index + 1
+
+    # -- control transfer ------------------------------------------------
+
+    def _branch_taken(self, inst: Instruction, regs: RegisterFile) -> bool:
+        mnemonic = inst.mnemonic
+        if mnemonic is Mnemonic.BA:
+            return True
+        if mnemonic is Mnemonic.BE:
+            return regs.icc_zero
+        if mnemonic is Mnemonic.BNE:
+            return not regs.icc_zero
+        if mnemonic is Mnemonic.BG:
+            return not regs.icc_zero and not regs.icc_negative
+        if mnemonic is Mnemonic.BL:
+            return regs.icc_negative
+        if mnemonic is Mnemonic.BGE:
+            return not regs.icc_negative
+        if mnemonic is Mnemonic.BLE:
+            return regs.icc_zero or regs.icc_negative
+        if mnemonic is Mnemonic.FBL:
+            return regs.fcc_less
+        if mnemonic is Mnemonic.FBE:
+            return regs.fcc_equal
+        raise SimulationError(f"not a branch: {mnemonic}")  # pragma: no cover
+
+    def _branch(self, program, inst, index, pc, regs, memory, fp_memory):
+        if inst.target_index is None:
+            raise SimulationError(f"unresolved branch target at pc {pc:#x}")
+        taken = self._branch_taken(inst, regs)
+        target_pc = program.pc_of(inst.target_index)
+        if inst.mnemonic in (Mnemonic.FBL, Mnemonic.FBE):
+            srcs: Tuple[int, ...] = (FCC,)
+        elif inst.mnemonic is Mnemonic.BA:
+            srcs = ()
+        else:
+            srcs = (ICC,)
+        record = TraceRecord(
+            pc,
+            inst.op_class,
+            srcs=srcs,
+            taken=taken,
+            target=target_pc,
+            privileged=inst.privileged,
+        )
+        next_index = inst.target_index if taken else index + 1
+        return record, next_index
+
+    def _call(self, program, inst, index, pc, regs, memory, fp_memory):
+        if inst.target_index is None:
+            raise SimulationError(f"unresolved call target at pc {pc:#x}")
+        regs.write_int(15, pc)
+        target_pc = program.pc_of(inst.target_index)
+        record = TraceRecord(
+            pc,
+            inst.op_class,
+            dest=int_reg(15),
+            taken=True,
+            target=target_pc,
+            privileged=inst.privileged,
+        )
+        return record, inst.target_index
+
+    def _ret(self, program, inst, index, pc, regs, memory, fp_memory):
+        return_pc = (regs.read_int(15) + RETURN_OFFSET) & _MASK64
+        next_index = program.index_of_pc(return_pc)
+        record = TraceRecord(
+            pc,
+            inst.op_class,
+            srcs=(int_reg(15),),
+            taken=True,
+            target=return_pc,
+            privileged=inst.privileged,
+        )
+        return record, next_index
+
+    # -- other -----------------------------------------------------------
+
+    def _nop(self, program, inst, index, pc, regs, memory, fp_memory):
+        record = TraceRecord(pc, inst.op_class, privileged=inst.privileged)
+        return record, index + 1
+
+
+def _wrap_signed(value: int) -> int:
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+_HANDLERS = {
+    Mnemonic.ADD: FunctionalExecutor._int_binop,
+    Mnemonic.SUB: FunctionalExecutor._int_binop,
+    Mnemonic.SUBCC: FunctionalExecutor._int_binop,
+    Mnemonic.AND: FunctionalExecutor._int_binop,
+    Mnemonic.OR: FunctionalExecutor._int_binop,
+    Mnemonic.XOR: FunctionalExecutor._int_binop,
+    Mnemonic.SLL: FunctionalExecutor._int_binop,
+    Mnemonic.SRL: FunctionalExecutor._int_binop,
+    Mnemonic.SRA: FunctionalExecutor._int_binop,
+    Mnemonic.ANDN: FunctionalExecutor._int_binop,
+    Mnemonic.ORN: FunctionalExecutor._int_binop,
+    Mnemonic.XNOR: FunctionalExecutor._int_binop,
+    Mnemonic.MULX: FunctionalExecutor._int_binop,
+    Mnemonic.SDIVX: FunctionalExecutor._int_binop,
+    Mnemonic.MOV: FunctionalExecutor._mov,
+    Mnemonic.SETHI: FunctionalExecutor._mov,
+    Mnemonic.FADD: FunctionalExecutor._fp_binop,
+    Mnemonic.FMUL: FunctionalExecutor._fp_binop,
+    Mnemonic.FMADD: FunctionalExecutor._fp_binop,
+    Mnemonic.FDIV: FunctionalExecutor._fp_binop,
+    Mnemonic.FCMP: FunctionalExecutor._fp_binop,
+    Mnemonic.LDX: FunctionalExecutor._load,
+    Mnemonic.LDF: FunctionalExecutor._load,
+    Mnemonic.STX: FunctionalExecutor._store,
+    Mnemonic.STF: FunctionalExecutor._store,
+    Mnemonic.BA: FunctionalExecutor._branch,
+    Mnemonic.BE: FunctionalExecutor._branch,
+    Mnemonic.BNE: FunctionalExecutor._branch,
+    Mnemonic.BG: FunctionalExecutor._branch,
+    Mnemonic.BL: FunctionalExecutor._branch,
+    Mnemonic.BGE: FunctionalExecutor._branch,
+    Mnemonic.BLE: FunctionalExecutor._branch,
+    Mnemonic.FBL: FunctionalExecutor._branch,
+    Mnemonic.FBE: FunctionalExecutor._branch,
+    Mnemonic.CALL: FunctionalExecutor._call,
+    Mnemonic.RET: FunctionalExecutor._ret,
+    Mnemonic.NOP: FunctionalExecutor._nop,
+    Mnemonic.SAVE: FunctionalExecutor._nop,
+    Mnemonic.RESTORE: FunctionalExecutor._nop,
+    Mnemonic.MEMBAR: FunctionalExecutor._nop,
+}

@@ -1,0 +1,109 @@
+"""Timing-level instruction classification.
+
+Every dynamic instruction the simulator sees — whether read from a trace
+or produced by the functional executor — carries an :class:`OpClass`.  The
+class determines which reservation station accepts it (paper §3, Table 1),
+which execution unit runs it, and its execution latency.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict
+
+
+class OpClass(IntEnum):
+    """Timing class of a dynamic instruction.
+
+    The grouping matches the SPARC64 V's dispatch structure:
+
+    - ``INT_*`` go to RSE (two 8-entry buffers, one per integer unit);
+    - ``FP_*`` go to RSF (two 8-entry buffers, one per FP unit);
+    - ``LOAD``/``STORE`` go to RSA (10 entries) for address generation and
+      occupy the load/store queues;
+    - ``BRANCH_*``/``CALL``/``RETURN`` go to RSBR (10 entries).
+    """
+
+    NOP = 0
+    INT_ALU = 1
+    INT_MUL = 2
+    INT_DIV = 3
+    FP_ADD = 4
+    FP_MUL = 5
+    FP_FMA = 6
+    FP_DIV = 7
+    LOAD = 8
+    STORE = 9
+    BRANCH_COND = 10
+    BRANCH_UNCOND = 11
+    CALL = 12
+    RETURN = 13
+    SPECIAL = 14
+
+
+#: Execution latency in cycles once an instruction enters its unit's
+#: execution stage.  Loads are excluded: their latency comes from the cache
+#: hierarchy.  SPECIAL covers serialising instructions (e.g. window traps,
+#: MEMBAR) whose cost is a model parameter — earlier model versions used a
+#: flat experimental penalty (paper §5, version v5 discussion).
+EXECUTION_LATENCY: Dict[OpClass, int] = {
+    OpClass.NOP: 1,
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 37,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 3,
+    OpClass.FP_FMA: 4,
+    OpClass.FP_DIV: 20,
+    OpClass.BRANCH_COND: 1,
+    OpClass.BRANCH_UNCOND: 1,
+    OpClass.CALL: 1,
+    OpClass.RETURN: 1,
+    OpClass.SPECIAL: 1,
+}
+
+_BRANCH_CLASSES = frozenset(
+    {OpClass.BRANCH_COND, OpClass.BRANCH_UNCOND, OpClass.CALL, OpClass.RETURN}
+)
+_MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+_FP_CLASSES = frozenset(
+    {OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_FMA, OpClass.FP_DIV}
+)
+_INT_EXEC_CLASSES = frozenset(
+    {OpClass.INT_ALU, OpClass.INT_MUL, OpClass.INT_DIV, OpClass.NOP, OpClass.SPECIAL}
+)
+
+
+def is_branch(op: OpClass) -> bool:
+    """True for any control-transfer class (dispatched to RSBR)."""
+    return op in _BRANCH_CLASSES
+
+
+def is_memory(op: OpClass) -> bool:
+    """True for loads and stores (dispatched to RSA, occupy LSQ)."""
+    return op in _MEMORY_CLASSES
+
+
+def is_fp(op: OpClass) -> bool:
+    """True for floating-point execution classes (dispatched to RSF)."""
+    return op in _FP_CLASSES
+
+
+def uses_rse(op: OpClass) -> bool:
+    """True if the instruction is dispatched from RSE (integer units)."""
+    return op in _INT_EXEC_CLASSES
+
+
+def uses_rsf(op: OpClass) -> bool:
+    """True if the instruction is dispatched from RSF (FP units)."""
+    return op in _FP_CLASSES
+
+
+def uses_rsa(op: OpClass) -> bool:
+    """True if the instruction is dispatched from RSA (address generation)."""
+    return op in _MEMORY_CLASSES
+
+
+def uses_rsbr(op: OpClass) -> bool:
+    """True if the instruction is dispatched from RSBR (branch unit)."""
+    return op in _BRANCH_CLASSES

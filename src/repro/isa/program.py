@@ -1,0 +1,104 @@
+"""Container for functional test programs.
+
+A :class:`Program` is what the Reverse Tracer emits and what the logic
+simulator (:mod:`repro.verify.logicsim`) executes: a sequence of
+instructions at consecutive addresses, label-resolved control transfers,
+and an initial data-memory image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import SimulationError, TraceError
+from repro.isa.instructions import Instruction
+
+#: Default base address for program text (arbitrary, page-aligned).
+DEFAULT_TEXT_BASE = 0x0001_0000
+
+#: SPARC instructions are 4 bytes.
+INSTRUCTION_BYTES = 4
+
+
+class Program:
+    """An ordered list of instructions plus an initial memory image."""
+
+    def __init__(
+        self,
+        instructions: Optional[Iterable[Instruction]] = None,
+        text_base: int = DEFAULT_TEXT_BASE,
+        name: str = "program",
+    ) -> None:
+        self.name = name
+        self.text_base = text_base
+        self.instructions: List[Instruction] = list(instructions or [])
+        #: Initial data memory: 8-byte-aligned address -> 64-bit value.
+        self.initial_memory: Dict[int, int] = {}
+        self._labels: Dict[str, int] = {}
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def append(self, instruction: Instruction) -> int:
+        """Append an instruction; returns its index."""
+        if self._finalized:
+            raise SimulationError("cannot append to a finalized program")
+        self.instructions.append(instruction)
+        return len(self.instructions) - 1
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append several instructions."""
+        for instruction in instructions:
+            self.append(instruction)
+
+    def set_memory(self, address: int, value: int) -> None:
+        """Set an initial 64-bit memory word (address must be 8-aligned)."""
+        if address % 8 != 0:
+            raise TraceError(f"initial memory address not 8-aligned: {address:#x}")
+        self.initial_memory[address] = value & ((1 << 64) - 1)
+
+    def pc_of(self, index: int) -> int:
+        """Address of the instruction at ``index``."""
+        return self.text_base + index * INSTRUCTION_BYTES
+
+    def index_of_pc(self, pc: int) -> int:
+        """Instruction index for an address inside the text segment."""
+        offset = pc - self.text_base
+        if offset % INSTRUCTION_BYTES != 0 or not (
+            0 <= offset // INSTRUCTION_BYTES < len(self.instructions)
+        ):
+            raise SimulationError(f"pc outside program text: {pc:#x}")
+        return offset // INSTRUCTION_BYTES
+
+    def finalize(self) -> "Program":
+        """Resolve labels to instruction indices.  Idempotent."""
+        if self._finalized:
+            return self
+        self._labels = {}
+        for index, instruction in enumerate(self.instructions):
+            if instruction.label is not None:
+                if instruction.label in self._labels:
+                    raise TraceError(f"duplicate label: {instruction.label}")
+                self._labels[instruction.label] = index
+        for instruction in self.instructions:
+            if instruction.target is not None:
+                if instruction.target not in self._labels:
+                    raise TraceError(f"undefined label: {instruction.target}")
+                instruction.target_index = self._labels[instruction.target]
+        self._finalized = True
+        return self
+
+    @property
+    def labels(self) -> Dict[str, int]:
+        """Label-name to instruction-index map (after finalize)."""
+        if not self._finalized:
+            raise SimulationError("program not finalized")
+        return dict(self._labels)
+
+    def listing(self) -> str:
+        """Human-readable assembly listing, for debugging test programs."""
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            lines.append(f"{self.pc_of(index):#010x}  {instruction}")
+        return "\n".join(lines)

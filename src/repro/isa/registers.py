@@ -1,0 +1,146 @@
+"""Architected register model.
+
+The timing model identifies registers by a flat integer id so that trace
+records stay compact:
+
+- integer registers ``%r0``–``%r31`` map to ids ``0``–``31``
+  (``%g0`` = id 0 is hardwired zero, never renamed);
+- floating-point registers ``%f0``–``%f31`` map to ids ``32``–``63``;
+- the integer condition codes (``icc``/``xcc``) are id ``64``;
+- the FP condition codes (``fcc``) are id ``65``.
+
+SPARC-V9 register windows are flattened: a SAVE/RESTORE shows up in traces
+as a SPECIAL-class instruction and the trace generator allocates registers
+from the flat space.  Window rotation affects timing only through the
+SPECIAL penalty, which is how the paper's model handled special
+instructions until version v5 refined them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import SimulationError
+
+INT_REG_COUNT = 32
+FP_REG_COUNT = 32
+FP_REG_BASE = INT_REG_COUNT
+
+#: Hardwired-zero integer register (%g0).
+G0 = 0
+
+#: Flat id of the integer condition-code register.
+ICC = FP_REG_BASE + FP_REG_COUNT  # 64
+
+#: Flat id of the floating-point condition-code register.
+FCC = ICC + 1  # 65
+
+#: Total number of architected register ids (including condition codes).
+TOTAL_REG_IDS = FCC + 1
+
+
+def int_reg(index: int) -> int:
+    """Flat id for integer register ``%r<index>``."""
+    if not 0 <= index < INT_REG_COUNT:
+        raise SimulationError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Flat id for floating-point register ``%f<index>``."""
+    if not 0 <= index < FP_REG_COUNT:
+        raise SimulationError(f"fp register index out of range: {index}")
+    return FP_REG_BASE + index
+
+
+def is_int_reg(reg_id: int) -> bool:
+    """True if the flat id names an integer register."""
+    return 0 <= reg_id < INT_REG_COUNT
+
+
+def is_fp_reg(reg_id: int) -> bool:
+    """True if the flat id names a floating-point register."""
+    return FP_REG_BASE <= reg_id < FP_REG_BASE + FP_REG_COUNT
+
+
+def reg_name(reg_id: int) -> str:
+    """Human-readable name for a flat register id."""
+    if is_int_reg(reg_id):
+        return f"%r{reg_id}"
+    if is_fp_reg(reg_id):
+        return f"%f{reg_id - FP_REG_BASE}"
+    if reg_id == ICC:
+        return "%icc"
+    if reg_id == FCC:
+        return "%fcc"
+    raise SimulationError(f"unknown register id: {reg_id}")
+
+
+_MASK64 = (1 << 64) - 1
+
+
+class RegisterFile:
+    """Architected state for the functional executor.
+
+    Integer registers hold 64-bit two's-complement values; FP registers
+    hold Python floats (the executor only needs enough FP fidelity to
+    replay control flow, which never depends on FP rounding in the test
+    programs the Reverse Tracer emits).
+    """
+
+    def __init__(self) -> None:
+        self._int: List[int] = [0] * INT_REG_COUNT
+        self._fp: List[float] = [0.0] * FP_REG_COUNT
+        #: icc condition flags, updated by compare/...cc instructions.
+        self.icc_zero = True
+        self.icc_negative = False
+        self.fcc_less = False
+        self.fcc_equal = True
+
+    def read_int(self, index: int) -> int:
+        """Read integer register ``%r<index>`` (``%g0`` reads as zero)."""
+        if index == G0:
+            return 0
+        return self._int[index]
+
+    def write_int(self, index: int, value: int) -> None:
+        """Write integer register; writes to ``%g0`` are discarded."""
+        if index == G0:
+            return
+        self._int[index] = value & _MASK64
+
+    def read_int_signed(self, index: int) -> int:
+        """Read an integer register as a signed 64-bit value."""
+        value = self.read_int(index)
+        if value >= 1 << 63:
+            value -= 1 << 64
+        return value
+
+    def read_fp(self, index: int) -> float:
+        """Read floating-point register ``%f<index>``."""
+        return self._fp[index]
+
+    def write_fp(self, index: int, value: float) -> None:
+        """Write floating-point register ``%f<index>``."""
+        self._fp[index] = float(value)
+
+    def set_icc(self, result_signed: int) -> None:
+        """Update integer condition codes from a signed 64-bit result."""
+        self.icc_zero = result_signed == 0
+        self.icc_negative = result_signed < 0
+
+    def set_fcc(self, lhs: float, rhs: float) -> None:
+        """Update FP condition codes from a comparison of two operands."""
+        self.fcc_less = lhs < rhs
+        self.fcc_equal = lhs == rhs
+
+    def snapshot(self) -> Dict[str, object]:
+        """A copy of all architected state, for test assertions."""
+        return {
+            "int": list(self._int),
+            "fp": list(self._fp),
+            "icc_zero": self.icc_zero,
+            "icc_negative": self.icc_negative,
+            "fcc_less": self.fcc_less,
+            "fcc_equal": self.fcc_equal,
+        }

@@ -1,0 +1,45 @@
+"""Detailed memory-system model.
+
+The paper's central methodological claim is that a performance model for
+enterprise-server design must pair the detailed processor model with an
+*equally detailed* memory-system model — request queues, bus conflicts,
+bandwidth, latency, and cache protocol all modelled "with the same
+concepts as those of actual systems" (§2.1).  This package implements
+that: set-associative non-blocking caches with MSHRs, the 8-banked L1
+operand cache, the unified on-chip (or off-chip) L2, hardware prefetching,
+TLBs, and the bus/memory-controller back end with explicit occupancy and
+queueing.
+"""
+
+from repro.memory.params import (
+    BusParams,
+    CacheGeometry,
+    MemoryParams,
+    PrefetchParams,
+    TlbGeometry,
+)
+from repro.memory.cache import CacheStats, LineState, SetAssociativeCache
+from repro.memory.mshr import MshrFile
+from repro.memory.bus import Bus
+from repro.memory.dram import MemoryController
+from repro.memory.tlb import Tlb
+from repro.memory.prefetch import PrefetchEngine
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "CacheGeometry",
+    "TlbGeometry",
+    "BusParams",
+    "MemoryParams",
+    "PrefetchParams",
+    "SetAssociativeCache",
+    "CacheStats",
+    "LineState",
+    "MshrFile",
+    "Bus",
+    "MemoryController",
+    "Tlb",
+    "PrefetchEngine",
+    "MemoryHierarchy",
+    "AccessResult",
+]

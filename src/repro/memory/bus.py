@@ -1,0 +1,70 @@
+"""Bus model with explicit occupancy and conflict accounting.
+
+The paper (§2.1) calls out exactly what a system-level model must carry:
+"a request queue, bus conflict, bandwidth, and latency."  This model
+expresses all four with a busy-until reservation scheme: a transfer
+requested while the bus is occupied queues behind the in-flight ones, and
+the queueing delay is reported as conflict cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.params import BusParams
+
+
+@dataclass
+class TransferTiming:
+    """Timing of one bus transfer."""
+
+    #: Cycle the transfer actually started (>= request cycle when queued).
+    start: int
+    #: Cycle the payload is fully delivered.
+    done: int
+    #: Cycles spent waiting behind earlier transfers.
+    queue_delay: int
+
+
+class Bus:
+    """A single-channel bus segment."""
+
+    def __init__(self, params: BusParams) -> None:
+        self.params = params
+        self._busy_until = 0
+        self.transfers = 0
+        self.busy_cycles = 0
+        self.conflict_cycles = 0
+        self.bytes_moved = 0
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle at which the bus next becomes free."""
+        return self._busy_until
+
+    def transfer(self, cycle: int, payload_bytes: int) -> TransferTiming:
+        """Reserve the bus for a transfer requested at ``cycle``."""
+        start = max(cycle, self._busy_until)
+        occupancy = self.params.occupancy(payload_bytes)
+        self._busy_until = start + occupancy
+        done = start + self.params.latency + occupancy
+        queue_delay = start - cycle
+        self.transfers += 1
+        self.busy_cycles += occupancy
+        self.conflict_cycles += queue_delay
+        self.bytes_moved += payload_bytes
+        return TransferTiming(start=start, done=done, queue_delay=queue_delay)
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of cycles the bus was moving data."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+    def reset(self) -> None:
+        """Clear reservations and statistics."""
+        self._busy_until = 0
+        self.transfers = 0
+        self.busy_cycles = 0
+        self.conflict_cycles = 0
+        self.bytes_moved = 0

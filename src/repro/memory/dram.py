@@ -1,0 +1,39 @@
+"""Main-memory model: a multi-channel controller with fixed device latency.
+
+Requests are spread over channels by line address; each channel is a
+busy-until resource, so a burst of misses to one channel queues while
+other channels stay available — the bandwidth behaviour that makes the
+TPC-C 16P experiments sensitive to memory-system balance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memory.params import MemoryParams
+
+
+class MemoryController:
+    """DRAM + controller timing."""
+
+    def __init__(self, params: MemoryParams, line_bytes: int = 64) -> None:
+        self.params = params
+        self.line_bytes = line_bytes
+        self._channel_busy: List[int] = [0] * params.channels
+        self.requests = 0
+        self.queue_cycles = 0
+
+    def request(self, cycle: int, line_addr: int) -> int:
+        """Issue a line read/write; returns the data-ready cycle."""
+        channel = (line_addr // self.line_bytes) % self.params.channels
+        start = max(cycle, self._channel_busy[channel])
+        self._channel_busy[channel] = start + self.params.channel_occupancy
+        self.requests += 1
+        self.queue_cycles += start - cycle
+        return start + self.params.latency
+
+    def reset(self) -> None:
+        """Clear reservations and statistics."""
+        self._channel_busy = [0] * self.params.channels
+        self.requests = 0
+        self.queue_cycles = 0

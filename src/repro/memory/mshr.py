@@ -1,0 +1,70 @@
+"""Miss-status holding registers.
+
+MSHRs are what make the SPARC64 V's caches *non-blocking* (§3.2, §3.3):
+a miss allocates an entry and the cache keeps serving other requests.
+Requests to a line that is already outstanding coalesce onto the existing
+entry instead of issuing a second fill.
+
+The file is timing-based: entries mature at a fill cycle and are lazily
+reclaimed the next time capacity is checked at a later cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import SimulationError
+
+
+class MshrFile:
+    """A fixed-capacity set of outstanding line misses."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError("MSHR capacity must be positive")
+        self.capacity = capacity
+        #: line address -> cycle at which the fill completes
+        self._entries: Dict[int, int] = {}
+        self.coalesced = 0
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _reclaim(self, cycle: int) -> None:
+        if not self._entries:
+            return
+        matured = [line for line, ready in self._entries.items() if ready <= cycle]
+        for line in matured:
+            del self._entries[line]
+
+    def outstanding(self, line_addr: int, cycle: int) -> Optional[int]:
+        """If a fill for this line is in flight at ``cycle``, its ready cycle."""
+        ready = self._entries.get(line_addr)
+        if ready is not None and ready > cycle:
+            self.coalesced += 1
+            return ready
+        return None
+
+    def can_allocate(self, cycle: int) -> bool:
+        """True if an entry is free at ``cycle`` (reclaims matured entries)."""
+        self._reclaim(cycle)
+        if len(self._entries) >= self.capacity:
+            self.full_stalls += 1
+            return False
+        return True
+
+    def next_free_cycle(self) -> int:
+        """Earliest cycle at which an entry will free up (file is full)."""
+        if not self._entries:
+            return 0
+        return min(self._entries.values())
+
+    def allocate(self, line_addr: int, ready_cycle: int, cycle: int) -> None:
+        """Record a new outstanding fill; caller must have checked capacity."""
+        self._reclaim(cycle)
+        if len(self._entries) >= self.capacity:
+            raise SimulationError("MSHR allocate without capacity check")
+        self._entries[line_addr] = ready_cycle
+        self.allocations += 1

@@ -1,0 +1,82 @@
+"""TLB model.
+
+Set-associative translation cache.  A miss costs a fixed hardware-walk
+penalty (the SPARC64 V walks the TSB in hardware); the walk's own memory
+traffic is folded into the penalty, which is how the paper's model treats
+it (TLB stalls appear combined with L1 miss stalls in Figure 7's
+"ibs/tlb" category).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.memory.params import TlbGeometry
+
+
+@dataclass
+class TlbStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class _TlbEntry:
+    __slots__ = ("tag", "valid", "lru")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.lru = 0
+
+
+class Tlb:
+    """A set-associative TLB with true LRU."""
+
+    def __init__(self, geometry: TlbGeometry) -> None:
+        self.geometry = geometry
+        sets = geometry.entries // geometry.ways
+        self._sets: List[List[_TlbEntry]] = [
+            [_TlbEntry() for _ in range(geometry.ways)] for _ in range(sets)
+        ]
+        self._set_mask = sets - 1
+        self._page_shift = geometry.page_bytes.bit_length() - 1
+        self._clock = 0
+        self.stats = TlbStats()
+
+    def translate(self, addr: int) -> int:
+        """Look up the page of ``addr``; returns extra cycles (0 on hit)."""
+        page = addr >> self._page_shift
+        index = page & self._set_mask
+        self._clock += 1
+        self.stats.accesses += 1
+        bucket = self._sets[index]
+        for entry in bucket:
+            if entry.valid and entry.tag == page:
+                entry.lru = self._clock
+                return 0
+        # Miss: walk, then install with LRU replacement.
+        self.stats.misses += 1
+        victim = None
+        for entry in bucket:
+            if not entry.valid:
+                victim = entry
+                break
+        if victim is None:
+            victim = min(bucket, key=lambda entry: entry.lru)
+        victim.tag = page
+        victim.valid = True
+        victim.lru = self._clock
+        return self.geometry.miss_penalty
+
+    def flush(self) -> None:
+        """Invalidate all entries (context switch)."""
+        for bucket in self._sets:
+            for entry in bucket:
+                entry.valid = False

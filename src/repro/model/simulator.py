@@ -1,0 +1,206 @@
+"""The uniprocessor performance model.
+
+Wires a :class:`~repro.model.config.MachineConfig` into a fetch unit,
+core and memory hierarchy and runs a trace through them, the way the
+paper's trace-driven simulator does.
+
+Warm-up: the paper's traces are captured after the workload reaches a
+steady state, so its model starts with warm micro-architectural state.
+Synthetic traces start cold; :meth:`PerformanceModel.run` therefore
+*functionally* warms the caches, TLBs and BHT on a leading fraction of
+the trace (touching tags without timing), then runs the timed simulation
+on the remainder.  The timed region never sees its own future.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.core.pipeline import ProcessorCore
+from repro.frontend.bht import BranchHistoryTable
+from repro.isa.opcodes import OpClass
+from repro.memory.cache import LineState
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.model.config import MachineConfig
+from repro.model.stats import SimResult
+from repro.trace.stream import Trace
+
+
+def build_hierarchy(config: MachineConfig, cpu: int = 0, **shared) -> MemoryHierarchy:
+    """Construct the memory hierarchy described by ``config``."""
+    return MemoryHierarchy(
+        l1i=config.l1i,
+        l1d=config.l1d,
+        l2=config.l2,
+        itlb=config.itlb,
+        dtlb=config.dtlb,
+        l1_l2_bus=config.l1_l2_bus,
+        system_bus=config.system_bus,
+        memory=config.memory,
+        prefetch=config.prefetch,
+        cpu=cpu,
+        perfect_l1=config.perfect_l1,
+        perfect_l2=config.perfect_l2,
+        perfect_tlb=config.perfect_tlb,
+        **shared,
+    )
+
+
+def prewarm_regions(hierarchy: MemoryHierarchy, regions: dict) -> None:
+    """Install steady-state residency for a workload's memory regions.
+
+    Touches every line of each region into the L2 (and data lines into
+    the L1D, code lines into the L1I), in an order that leaves the *hot*
+    sub-regions most recently used: cold spans first, ``*_hot`` spans
+    last.  This removes the first-touch transient that synthetic traces
+    would otherwise pay for the paper's steady-state workloads — after
+    pre-warming, each cache holds whatever its capacity allows.
+    """
+    line = hierarchy.l2.geometry.line_bytes
+
+    def touch_span(base: int, size: int, data: bool) -> None:
+        for addr in range(base, base + size, line):
+            if not hierarchy.l2.lookup(addr):
+                hierarchy.l2.fill(addr)
+            if data:
+                if not hierarchy.l1d.lookup(addr):
+                    hierarchy.l1d.fill(addr)
+            else:
+                if not hierarchy.l1i.lookup(addr):
+                    hierarchy.l1i.fill(addr)
+
+    # Touch order = reverse residency priority.  Big cold data regions go
+    # first (only their tail survives in the L2), code next (code is the
+    # steady-state L2 resident that OLTP I-fetch depends on), hot data
+    # regions last (most recently used everywhere).
+    hot_names = sorted(name for name in regions if name.endswith("_hot"))
+    code_names = sorted(
+        name for name in regions if "code" in name and not name.endswith("_hot")
+    )
+    cold_names = sorted(
+        name
+        for name in regions
+        if name not in hot_names and name not in code_names
+    )
+    for name in cold_names + code_names + hot_names:
+        base, size = regions[name]
+        touch_span(base, size, data="data" in name)
+
+
+def warm_structures(
+    hierarchy: MemoryHierarchy,
+    bht: Optional[BranchHistoryTable],
+    trace: Trace,
+) -> None:
+    """Functionally touch caches/TLBs/BHT with ``trace`` (no timing).
+
+    Fill decisions mirror the timed path: L1 and L2 are filled on misses,
+    stores dirty their lines, branches train the predictor.  Statistics
+    are reset afterwards so the timed region starts from zero counters.
+    """
+    l1i, l1d, l2 = hierarchy.l1i, hierarchy.l1d, hierarchy.l2
+    for record in trace.records:
+        hierarchy.itlb.translate(record.pc)
+        if not l1i.lookup(record.pc):
+            if not l2.lookup(record.pc):
+                l2.fill(record.pc)
+            l1i.fill(record.pc)
+        if record.is_memory:
+            hierarchy.dtlb.translate(record.ea)
+            is_write = record.is_store
+            if not l1d.lookup(record.ea, is_write=is_write):
+                if not l2.lookup(record.ea, is_write=is_write):
+                    l2.fill(
+                        record.ea,
+                        state=LineState.MODIFIED if is_write else LineState.EXCLUSIVE,
+                    )
+                l1d.fill(
+                    record.ea,
+                    state=LineState.MODIFIED if is_write else LineState.EXCLUSIVE,
+                )
+        elif record.op == OpClass.BRANCH_COND and bht is not None:
+            predicted = bht.predict(record.pc)
+            bht.update(record.pc, record.taken, predicted)
+    # Reset statistics accumulated during warming.
+    l1i.stats.__init__()
+    l1d.stats.__init__()
+    l2.stats.__init__()
+    hierarchy.itlb.stats.__init__()
+    hierarchy.dtlb.stats.__init__()
+    if bht is not None:
+        bht.stats.__init__()
+
+
+class PerformanceModel:
+    """Configurable trace-driven uniprocessor simulator."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+    def run(
+        self,
+        trace: Trace,
+        warmup_fraction: float = 0.1,
+        regions: Optional[dict] = None,
+    ) -> SimResult:
+        """Simulate ``trace``; the leading fraction warms state untimed.
+
+        ``regions`` (from :meth:`TraceGenerator.memory_regions`) enables
+        steady-state pre-warming before the trace-prefix warm-up.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigError("warmup_fraction must be in [0, 1)")
+        if len(trace) == 0:
+            raise ConfigError("cannot simulate an empty trace")
+
+        split = int(len(trace) * warmup_fraction)
+        warm_part = trace.head(split) if split else None
+        timed_part = trace[split:] if split else trace
+
+        config = self.config
+        hierarchy = build_hierarchy(config)
+
+        frontend = config.frontend
+        if config.perfect_branch_prediction and not frontend.perfect_prediction:
+            frontend = FrontEndParamsWithPerfect(frontend)
+
+        core = ProcessorCore(timed_part, hierarchy, config.core, frontend, config.bht)
+        if regions:
+            prewarm_regions(hierarchy, regions)
+        if warm_part is not None:
+            warm_structures(hierarchy, core.fetch.bht, warm_part)
+        elif regions:
+            # No trace prefix: still reset the counters the pre-warm touched.
+            hierarchy.l1i.stats.__init__()
+            hierarchy.l1d.stats.__init__()
+            hierarchy.l2.stats.__init__()
+
+        started = time.perf_counter()
+        core_stats = core.run()
+        elapsed = max(time.perf_counter() - started, 1e-9)
+
+        return SimResult(
+            config_name=config.name,
+            trace_name=trace.name,
+            core=core_stats,
+            l1i=hierarchy.l1i.stats.as_dict(),
+            l1d=hierarchy.l1d.stats.as_dict(),
+            l2=hierarchy.l2.stats.as_dict(),
+            itlb_miss_ratio=hierarchy.itlb.stats.miss_ratio,
+            dtlb_miss_ratio=hierarchy.dtlb.stats.miss_ratio,
+            bht_misprediction_ratio=core.fetch.bht.stats.misprediction_ratio,
+            system_bus_utilization=hierarchy.system_bus.utilization(core_stats.cycles),
+            l1_l2_bus_utilization=hierarchy.l1_l2_bus.utilization(core_stats.cycles),
+            prefetches_issued=hierarchy.prefetcher.stats.issued,
+            sim_speed=core_stats.instructions / elapsed,
+            warmup_instructions=split,
+        )
+
+
+def FrontEndParamsWithPerfect(frontend):
+    """Copy front-end params with perfect prediction enabled."""
+    from dataclasses import replace
+
+    return replace(frontend, perfect_prediction=True)

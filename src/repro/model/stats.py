@@ -1,0 +1,81 @@
+"""Aggregated simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.pipeline import CoreStats
+
+
+@dataclass
+class SimResult:
+    """Everything measured by one performance-model run."""
+
+    config_name: str
+    trace_name: str
+    core: CoreStats
+    l1i: Dict[str, float] = field(default_factory=dict)
+    l1d: Dict[str, float] = field(default_factory=dict)
+    l2: Dict[str, float] = field(default_factory=dict)
+    itlb_miss_ratio: float = 0.0
+    dtlb_miss_ratio: float = 0.0
+    bht_misprediction_ratio: float = 0.0
+    system_bus_utilization: float = 0.0
+    l1_l2_bus_utilization: float = 0.0
+    prefetches_issued: int = 0
+    #: Wall-clock simulation speed, trace instructions per host second.
+    sim_speed: float = 0.0
+    warmup_instructions: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.core.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.core.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.core.instructions
+
+    def miss_ratio(self, cache: str, demand_only: bool = True) -> float:
+        """Demand (or total) miss ratio of "l1i"/"l1d"/"l2"."""
+        stats = getattr(self, cache)
+        key = "demand_miss_ratio" if demand_only else "total_miss_ratio"
+        return float(stats.get(key, 0.0))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config_name,
+            "trace": self.trace_name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": round(self.ipc, 4),
+            "l1i_miss_ratio": round(self.miss_ratio("l1i"), 5),
+            "l1d_miss_ratio": round(self.miss_ratio("l1d"), 5),
+            "l2_miss_ratio": round(self.miss_ratio("l2"), 5),
+            "bht_misprediction_ratio": round(self.bht_misprediction_ratio, 5),
+            "itlb_miss_ratio": round(self.itlb_miss_ratio, 5),
+            "dtlb_miss_ratio": round(self.dtlb_miss_ratio, 5),
+            "replays": self.core.replays,
+            "bank_conflicts": self.core.bank_conflicts,
+            "store_forwards": self.core.store_forwards,
+            "system_bus_utilization": round(self.system_bus_utilization, 4),
+            "sim_speed_ips": round(self.sim_speed, 1),
+        }
+
+    def summary(self) -> str:
+        """One-screen human-readable report."""
+        data = self.as_dict()
+        width = max(len(key) for key in data)
+        return "\n".join(f"{key:<{width}}  {value}" for key, value in data.items())
+
+
+def ipc_ratio(alternative: SimResult, baseline: SimResult) -> float:
+    """IPC of ``alternative`` as a fraction of ``baseline`` (paper's ratios)."""
+    if baseline.ipc == 0:
+        return 0.0
+    return alternative.ipc / baseline.ipc

@@ -1,0 +1,15 @@
+"""Symmetric-multiprocessor system model.
+
+The paper's performance model "can be modeled for MP system performance
+models" including "requests between L2 caches" (§2.1); the 16-processor
+TPC-C runs of §4.3.4 are its headline system-level use.  This package
+provides the coherence domain (bus-snooping MOESI between per-chip L2s,
+with cache-to-cache "move-out" transfers of dirty lines) and the
+:class:`SmpSystem` driver that steps N cores against a shared system bus
+and memory.
+"""
+
+from repro.smp.coherence import CoherenceDomain
+from repro.smp.system import SmpResult, SmpSystem
+
+__all__ = ["CoherenceDomain", "SmpSystem", "SmpResult"]

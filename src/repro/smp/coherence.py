@@ -1,0 +1,157 @@
+"""Bus-snooping coherence between per-chip L2 caches.
+
+Implements the MOESI-style protocol the SPARC64 V system uses between
+chips.  All processors' L2s snoop a shared system bus:
+
+- a read miss that another chip holds MODIFIED/OWNED is served
+  cache-to-cache (a "move-out" of the dirty line, §3.3); the owner
+  downgrades to OWNED (data stays dirty, memory is not written);
+- a read miss with only clean remote copies is served from memory and
+  installs SHARED;
+- a write miss invalidates all remote copies and installs MODIFIED;
+- a write to a locally SHARED line issues an upgrade (invalidate-only
+  bus transaction, no data).
+
+Timing: every transaction arbitrates for the shared system bus; a
+cache-to-cache transfer costs the bus transfer plus the remote chip's L2
+access, which is why it is still far cheaper than DRAM — the quantity
+the two-level-hierarchy argument of §3.3 turns on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import SimulationError
+from repro.memory.bus import Bus
+from repro.memory.cache import LineState
+from repro.memory.dram import MemoryController
+from repro.memory.hierarchy import MemoryHierarchy, RemoteResult
+
+
+@dataclass
+class CoherenceStats:
+    """Domain-wide coherence traffic counters."""
+
+    read_misses: int = 0
+    write_misses: int = 0
+    upgrades: int = 0
+    #: Lines served by another chip's L2 ("move-out" transfers).
+    cache_to_cache: int = 0
+    memory_fetches: int = 0
+    invalidations_sent: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "read_misses": self.read_misses,
+            "write_misses": self.write_misses,
+            "upgrades": self.upgrades,
+            "cache_to_cache": self.cache_to_cache,
+            "memory_fetches": self.memory_fetches,
+            "invalidations_sent": self.invalidations_sent,
+        }
+
+
+class CoherenceDomain:
+    """The snooping interconnect joining every processor's L2."""
+
+    #: L2 tag-pipe cycles for a remote chip to source a line.
+    REMOTE_L2_ACCESS = 12
+
+    def __init__(
+        self,
+        system_bus: Bus,
+        memory: MemoryController,
+        line_bytes: int = 64,
+    ) -> None:
+        self.system_bus = system_bus
+        self.memory = memory
+        self.line_bytes = line_bytes
+        self._hierarchies: List[MemoryHierarchy] = []
+        self.stats = CoherenceStats()
+
+    def attach(self, hierarchy: MemoryHierarchy) -> None:
+        """Register one processor's hierarchy with the domain."""
+        if hierarchy.cpu in {h.cpu for h in self._hierarchies}:
+            raise SimulationError(f"duplicate cpu id {hierarchy.cpu}")
+        self._hierarchies.append(hierarchy)
+        hierarchy.coherence = self
+
+    # ------------------------------------------------------------------
+    # CoherenceProtocolHook interface (called from MemoryHierarchy).
+    # ------------------------------------------------------------------
+
+    def fetch_line(
+        self, cycle: int, cpu: int, line_addr: int, is_write: bool
+    ) -> RemoteResult:
+        """Resolve an L2 miss: snoop every other chip, then memory."""
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+
+        # Command broadcast: every chip snoops the address.
+        request = self.system_bus.transfer(cycle, 8)
+
+        owner: MemoryHierarchy = None  # type: ignore[assignment]
+        sharers: List[MemoryHierarchy] = []
+        for hierarchy in self._hierarchies:
+            if hierarchy.cpu == cpu:
+                continue
+            state = hierarchy.snoop_probe(line_addr)
+            if state is None:
+                continue
+            if state.is_dirty:
+                owner = hierarchy
+            sharers.append(hierarchy)
+
+        if is_write:
+            # Invalidate every remote copy.
+            for hierarchy in sharers:
+                hierarchy.snoop_downgrade(line_addr, LineState.INVALID)
+                self.stats.invalidations_sent += 1
+            if owner is not None:
+                # Dirty data moves out of the owner to the writer.
+                self.stats.cache_to_cache += 1
+                data = self.system_bus.transfer(
+                    request.done + self.REMOTE_L2_ACCESS, self.line_bytes
+                )
+                return RemoteResult(
+                    ready_cycle=data.done, from_cache=True, state=LineState.MODIFIED
+                )
+            self.stats.memory_fetches += 1
+            data_ready = self.memory.request(request.done, line_addr)
+            data = self.system_bus.transfer(data_ready, self.line_bytes)
+            return RemoteResult(
+                ready_cycle=data.done, from_cache=False, state=LineState.MODIFIED
+            )
+
+        # Read miss.
+        if owner is not None:
+            # Move-out: the owner sources the line and keeps it OWNED.
+            self.stats.cache_to_cache += 1
+            owner.snoop_downgrade(line_addr, LineState.OWNED)
+            data = self.system_bus.transfer(
+                request.done + self.REMOTE_L2_ACCESS, self.line_bytes
+            )
+            return RemoteResult(
+                ready_cycle=data.done, from_cache=True, state=LineState.SHARED
+            )
+        install = LineState.SHARED if sharers else LineState.EXCLUSIVE
+        self.stats.memory_fetches += 1
+        data_ready = self.memory.request(request.done, line_addr)
+        data = self.system_bus.transfer(data_ready, self.line_bytes)
+        return RemoteResult(ready_cycle=data.done, from_cache=False, state=install)
+
+    def upgrade_line(self, cycle: int, cpu: int, line_addr: int) -> int:
+        """Write to a locally SHARED line: invalidate remote copies."""
+        self.stats.upgrades += 1
+        request = self.system_bus.transfer(cycle, 8)
+        for hierarchy in self._hierarchies:
+            if hierarchy.cpu == cpu:
+                continue
+            if hierarchy.snoop_probe(line_addr) is not None:
+                hierarchy.snoop_downgrade(line_addr, LineState.INVALID)
+                self.stats.invalidations_sent += 1
+        return request.done

@@ -1,0 +1,109 @@
+"""Trace comparison utilities.
+
+Used when debugging the verification loops: given two traces (e.g. the
+original and a Reverse-Tracer replay, or two samples of one workload),
+quantify how similar they are — record-exact divergence point, mix
+divergence, and footprint overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.trace.stream import Trace
+
+
+@dataclass
+class TraceComparison:
+    """Similarity metrics between two traces."""
+
+    length_a: int
+    length_b: int
+    #: Index of the first differing record, or None if one is a prefix of
+    #: the other (or they are identical).
+    first_divergence: Optional[int]
+    #: Fraction of positions (over the shorter length) with equal records.
+    record_match_fraction: float
+    #: Fraction of positions with at least the same opcode class.
+    opcode_match_fraction: float
+    #: L1-норм distance between the two instruction-mix vectors (0..2).
+    mix_distance: float
+    #: Jaccard overlap of the code footprints (unique pcs).
+    code_overlap: float
+    #: Jaccard overlap of the data footprints (unique 64 B lines).
+    data_overlap: float
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.length_a == self.length_b
+            and self.first_divergence is None
+            and self.record_match_fraction == 1.0
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "length_a": self.length_a,
+            "length_b": self.length_b,
+            "first_divergence": self.first_divergence,
+            "record_match_fraction": round(self.record_match_fraction, 4),
+            "opcode_match_fraction": round(self.opcode_match_fraction, 4),
+            "mix_distance": round(self.mix_distance, 4),
+            "code_overlap": round(self.code_overlap, 4),
+            "data_overlap": round(self.data_overlap, 4),
+        }
+
+
+def _jaccard(a: set, b: set) -> float:
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 1.0
+
+
+def compare_traces(a: Trace, b: Trace, line_bytes: int = 64) -> TraceComparison:
+    """Compute :class:`TraceComparison` between two traces."""
+    short = min(len(a), len(b))
+    first_divergence: Optional[int] = None
+    record_matches = 0
+    opcode_matches = 0
+    for index in range(short):
+        ra, rb = a.records[index], b.records[index]
+        if ra == rb:
+            record_matches += 1
+            opcode_matches += 1
+        else:
+            if first_divergence is None:
+                first_divergence = index
+            if ra.op == rb.op:
+                opcode_matches += 1
+
+    stats_a = a.stats(line_bytes)
+    stats_b = b.stats(line_bytes)
+    total_a = max(stats_a.instruction_count, 1)
+    total_b = max(stats_b.instruction_count, 1)
+    ops = set(stats_a.op_counts) | set(stats_b.op_counts)
+    mix_distance = sum(
+        abs(
+            stats_a.op_counts.get(op, 0) / total_a
+            - stats_b.op_counts.get(op, 0) / total_b
+        )
+        for op in ops
+    )
+
+    code_a = {record.pc for record in a.records}
+    code_b = {record.pc for record in b.records}
+    data_a = {record.ea // line_bytes for record in a.records if record.is_memory}
+    data_b = {record.ea // line_bytes for record in b.records if record.is_memory}
+
+    return TraceComparison(
+        length_a=len(a),
+        length_b=len(b),
+        first_divergence=first_divergence,
+        record_match_fraction=record_matches / short if short else 1.0,
+        opcode_match_fraction=opcode_matches / short if short else 1.0,
+        mix_distance=mix_distance,
+        code_overlap=_jaccard(code_a, code_b),
+        data_overlap=_jaccard(data_a, data_b),
+    )

@@ -1,0 +1,181 @@
+"""Trace file formats.
+
+Two interchangeable formats:
+
+- ``jsonl`` — one JSON object per record; human-inspectable, used in
+  examples and debugging.
+- ``bin`` — a fixed-width packed binary format (struct-based), roughly 6x
+  smaller and faster; used when traces are archived between runs.
+
+The format is chosen by file extension (``.jsonl`` / ``.trc``).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import TraceError
+from repro.isa.opcodes import OpClass
+from repro.trace.record import NO_ADDR, NO_REG, TraceRecord
+from repro.trace.stream import Trace
+
+_MAGIC = b"SPT1"
+
+# pc, op, dest, ea, size, flags(taken|priv), target, nsrcs  -> then srcs
+_RECORD_HEAD = struct.Struct("<qBbqBBqB")
+_SRC_FMT = struct.Struct("<b")
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` in the format implied by its suffix."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        _write_jsonl(trace, path)
+    elif path.suffix == ".trc":
+        _write_binary(trace, path)
+    else:
+        raise TraceError(f"unknown trace format for {path.name!r} (use .jsonl or .trc)")
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return _read_jsonl(path)
+    if path.suffix == ".trc":
+        return _read_binary(path)
+    raise TraceError(f"unknown trace format for {path.name!r} (use .jsonl or .trc)")
+
+
+# ----------------------------------------------------------------------
+# jsonl
+# ----------------------------------------------------------------------
+
+
+def _record_to_dict(record: TraceRecord) -> dict:
+    out = {"pc": record.pc, "op": record.op.name}
+    if record.dest != NO_REG:
+        out["dest"] = record.dest
+    if record.srcs:
+        out["srcs"] = list(record.srcs)
+    if record.ea != NO_ADDR:
+        out["ea"] = record.ea
+    if record.size:
+        out["size"] = record.size
+    if record.is_branch:
+        out["taken"] = record.taken
+        if record.target != NO_ADDR:
+            out["target"] = record.target
+    if record.privileged:
+        out["priv"] = True
+    return out
+
+
+def _record_from_dict(data: dict) -> TraceRecord:
+    try:
+        op = OpClass[data["op"]]
+        return TraceRecord(
+            pc=data["pc"],
+            op=op,
+            dest=data.get("dest", NO_REG),
+            srcs=tuple(data.get("srcs", ())),
+            ea=data.get("ea", NO_ADDR),
+            size=data.get("size", 0),
+            taken=data.get("taken", False),
+            target=data.get("target", NO_ADDR),
+            privileged=data.get("priv", False),
+        )
+    except (KeyError, TypeError) as exc:
+        raise TraceError(f"malformed trace record: {data!r}") from exc
+
+
+def _write_jsonl(trace: Trace, path: Path) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"name": trace.name, "cpu": trace.cpu, "count": len(trace)}
+        handle.write(json.dumps({"header": header}) + "\n")
+        for record in trace.records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+
+
+def _read_jsonl(path: Path) -> Trace:
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise TraceError(f"empty trace file: {path}")
+        header_line = json.loads(first)
+        if "header" not in header_line:
+            raise TraceError(f"missing header line in {path}")
+        header = header_line["header"]
+        trace = Trace(name=header.get("name", path.stem), cpu=header.get("cpu", 0))
+        for line in handle:
+            line = line.strip()
+            if line:
+                trace.append(_record_from_dict(json.loads(line)))
+    return trace
+
+
+# ----------------------------------------------------------------------
+# binary
+# ----------------------------------------------------------------------
+
+
+def _write_binary(trace: Trace, path: Path) -> None:
+    with path.open("wb") as handle:
+        name_bytes = trace.name.encode("utf-8")
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<IHB", len(trace), len(name_bytes), trace.cpu))
+        handle.write(name_bytes)
+        for record in trace.records:
+            flags = (1 if record.taken else 0) | (2 if record.privileged else 0)
+            handle.write(
+                _RECORD_HEAD.pack(
+                    record.pc,
+                    int(record.op),
+                    record.dest,
+                    record.ea,
+                    record.size,
+                    flags,
+                    record.target,
+                    len(record.srcs),
+                )
+            )
+            for src in record.srcs:
+                handle.write(_SRC_FMT.pack(src))
+
+
+def _read_binary(path: Path) -> Trace:
+    data = path.read_bytes()
+    if data[:4] != _MAGIC:
+        raise TraceError(f"not a binary trace file: {path}")
+    count, name_len, cpu = struct.unpack_from("<IHB", data, 4)
+    offset = 4 + 7
+    name = data[offset : offset + name_len].decode("utf-8")
+    offset += name_len
+    trace = Trace(name=name, cpu=cpu)
+    for _ in range(count):
+        pc, op, dest, ea, size, flags, target, nsrcs = _RECORD_HEAD.unpack_from(data, offset)
+        offset += _RECORD_HEAD.size
+        srcs = []
+        for _ in range(nsrcs):
+            (src,) = _SRC_FMT.unpack_from(data, offset)
+            offset += _SRC_FMT.size
+            srcs.append(src)
+        trace.append(
+            TraceRecord(
+                pc=pc,
+                op=OpClass(op),
+                dest=dest,
+                srcs=tuple(srcs),
+                ea=ea,
+                size=size,
+                taken=bool(flags & 1),
+                target=target,
+                privileged=bool(flags & 2),
+            )
+        )
+    if len(trace) != count:
+        raise TraceError(f"truncated binary trace: {path}")
+    return trace

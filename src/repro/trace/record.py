@@ -1,0 +1,177 @@
+"""The dynamic-instruction record.
+
+One :class:`TraceRecord` is one executed instruction.  It carries exactly
+the information the timing model needs and nothing else — the same
+abstraction level as the paper's instruction traces, which include both
+application and kernel execution for TPC-C.
+
+Records are created millions of times per simulation, so the class uses
+``__slots__`` and plain attributes rather than a dataclass with defaults
+checked at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import OpClass
+
+#: Sentinel register id meaning "no register".
+NO_REG = -1
+
+#: Sentinel address meaning "no address".
+NO_ADDR = -1
+
+
+class TraceRecord:
+    """One dynamic instruction.
+
+    Attributes:
+        pc: virtual address of the instruction.
+        op: timing class (:class:`repro.isa.OpClass`).
+        dest: flat destination register id, or :data:`NO_REG`.
+        srcs: tuple of flat source register ids (may be empty).
+        ea: effective address for loads/stores, else :data:`NO_ADDR`.
+        size: access size in bytes for loads/stores, else 0.
+        taken: branch outcome (False for non-branches).
+        target: branch target pc when taken, else :data:`NO_ADDR`.
+        privileged: True when executed in kernel mode.
+    """
+
+    __slots__ = ("pc", "op", "dest", "srcs", "ea", "size", "taken", "target", "privileged")
+
+    def __init__(
+        self,
+        pc: int,
+        op: OpClass,
+        dest: int = NO_REG,
+        srcs: Tuple[int, ...] = (),
+        ea: int = NO_ADDR,
+        size: int = 0,
+        taken: bool = False,
+        target: int = NO_ADDR,
+        privileged: bool = False,
+    ) -> None:
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.ea = ea
+        self.size = size
+        self.taken = taken
+        self.target = target
+        self.privileged = privileged
+
+    @property
+    def is_load(self) -> bool:
+        """True for load-class records."""
+        return self.op == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for store-class records."""
+        return self.op == OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.op == OpClass.LOAD or self.op == OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-transfer record."""
+        op = self.op
+        return (
+            op == OpClass.BRANCH_COND
+            or op == OpClass.BRANCH_UNCOND
+            or op == OpClass.CALL
+            or op == OpClass.RETURN
+        )
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True only for condition-dependent branches."""
+        return self.op == OpClass.BRANCH_COND
+
+    def fall_through(self) -> int:
+        """Address of the next sequential instruction."""
+        return self.pc + 4
+
+    def next_pc(self) -> int:
+        """Address of the dynamically next instruction."""
+        if self.taken and self.target != NO_ADDR:
+            return self.target
+        return self.pc + 4
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.pc == other.pc
+            and self.op == other.op
+            and self.dest == other.dest
+            and self.srcs == other.srcs
+            and self.ea == other.ea
+            and self.size == other.size
+            and self.taken == other.taken
+            and self.target == other.target
+            and self.privileged == other.privileged
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pc, self.op, self.dest, self.srcs, self.ea, self.taken))
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.is_memory:
+            extra = f" ea={self.ea:#x} size={self.size}"
+        elif self.is_branch:
+            tgt = f"{self.target:#x}" if self.target != NO_ADDR else "-"
+            extra = f" taken={self.taken} target={tgt}"
+        priv = " priv" if self.privileged else ""
+        return f"<{self.op.name} pc={self.pc:#x} dest={self.dest} srcs={self.srcs}{extra}{priv}>"
+
+
+def make_alu(pc: int, dest: int, srcs: Tuple[int, ...], privileged: bool = False) -> TraceRecord:
+    """Convenience constructor for a single-cycle integer ALU record."""
+    return TraceRecord(pc, OpClass.INT_ALU, dest=dest, srcs=srcs, privileged=privileged)
+
+
+def make_load(
+    pc: int,
+    dest: int,
+    addr_srcs: Tuple[int, ...],
+    ea: int,
+    size: int = 8,
+    privileged: bool = False,
+) -> TraceRecord:
+    """Convenience constructor for a load record."""
+    return TraceRecord(
+        pc, OpClass.LOAD, dest=dest, srcs=addr_srcs, ea=ea, size=size, privileged=privileged
+    )
+
+
+def make_store(
+    pc: int,
+    srcs: Tuple[int, ...],
+    ea: int,
+    size: int = 8,
+    privileged: bool = False,
+) -> TraceRecord:
+    """Convenience constructor for a store record (last src is the data)."""
+    return TraceRecord(pc, OpClass.STORE, srcs=srcs, ea=ea, size=size, privileged=privileged)
+
+
+def make_branch(
+    pc: int,
+    taken: bool,
+    target: int,
+    conditional: bool = True,
+    srcs: Tuple[int, ...] = (),
+    privileged: bool = False,
+) -> TraceRecord:
+    """Convenience constructor for a branch record."""
+    op = OpClass.BRANCH_COND if conditional else OpClass.BRANCH_UNCOND
+    return TraceRecord(
+        pc, op, srcs=srcs, taken=taken, target=target if taken else target, privileged=privileged
+    )

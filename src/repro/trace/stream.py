@@ -1,0 +1,155 @@
+"""In-memory trace container and summary statistics.
+
+A :class:`Trace` is the unit the performance model consumes: an ordered
+list of :class:`TraceRecord` plus a name and (for SMP runs) the id of the
+processor that executed it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.common.errors import TraceError
+from repro.isa.opcodes import OpClass
+from repro.trace.record import NO_ADDR, TraceRecord
+
+
+@dataclass
+class TraceStats:
+    """Aggregate characteristics of a trace.
+
+    These are the quantities the paper uses to characterise workloads
+    (instruction mix, footprints, branch behaviour) and the first thing to
+    inspect when checking that a synthetic workload matches its intended
+    profile.
+    """
+
+    instruction_count: int = 0
+    op_counts: Dict[OpClass, int] = field(default_factory=dict)
+    load_fraction: float = 0.0
+    store_fraction: float = 0.0
+    branch_fraction: float = 0.0
+    fp_fraction: float = 0.0
+    taken_branch_fraction: float = 0.0
+    privileged_fraction: float = 0.0
+    unique_code_lines: int = 0
+    unique_data_lines: int = 0
+    code_footprint_bytes: int = 0
+    data_footprint_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for reports and JSON output."""
+        out: Dict[str, object] = {
+            "instruction_count": self.instruction_count,
+            "load_fraction": round(self.load_fraction, 4),
+            "store_fraction": round(self.store_fraction, 4),
+            "branch_fraction": round(self.branch_fraction, 4),
+            "fp_fraction": round(self.fp_fraction, 4),
+            "taken_branch_fraction": round(self.taken_branch_fraction, 4),
+            "privileged_fraction": round(self.privileged_fraction, 4),
+            "code_footprint_bytes": self.code_footprint_bytes,
+            "data_footprint_bytes": self.data_footprint_bytes,
+        }
+        out["op_counts"] = {op.name: count for op, count in sorted(self.op_counts.items())}
+        return out
+
+
+class Trace:
+    """An ordered dynamic instruction stream."""
+
+    def __init__(
+        self,
+        records: Optional[Iterable[TraceRecord]] = None,
+        name: str = "trace",
+        cpu: int = 0,
+    ) -> None:
+        self.name = name
+        self.cpu = cpu
+        self.records: List[TraceRecord] = list(records or [])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.records[index], name=self.name, cpu=self.cpu)
+        return self.records[index]
+
+    def append(self, record: TraceRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Append several records."""
+        self.records.extend(records)
+
+    def head(self, count: int) -> "Trace":
+        """First ``count`` records as a new trace."""
+        return Trace(self.records[:count], name=f"{self.name}[:{count}]", cpu=self.cpu)
+
+    def validate(self, line_bytes: int = 64) -> None:
+        """Sanity-check record consistency; raises :class:`TraceError`.
+
+        Checks that memory records carry addresses, branches carry targets
+        when taken, and control flow is sequentially consistent (each
+        record's pc equals the previous record's dynamic next-pc).
+        """
+        previous: Optional[TraceRecord] = None
+        for position, record in enumerate(self.records):
+            if record.is_memory and record.ea == NO_ADDR:
+                raise TraceError(f"{self.name}[{position}]: memory record without address")
+            if record.is_branch and record.taken and record.target == NO_ADDR:
+                raise TraceError(f"{self.name}[{position}]: taken branch without target")
+            if previous is not None and previous.next_pc() != record.pc:
+                raise TraceError(
+                    f"{self.name}[{position}]: control-flow break "
+                    f"(previous next_pc {previous.next_pc():#x}, record pc {record.pc:#x})"
+                )
+            previous = record
+
+    def stats(self, line_bytes: int = 64) -> TraceStats:
+        """Compute aggregate statistics over the whole trace."""
+        op_counts: Counter = Counter()
+        loads = stores = branches = taken = fp = privileged = 0
+        code_lines = set()
+        data_lines = set()
+        for record in self.records:
+            op = record.op
+            op_counts[op] += 1
+            code_lines.add(record.pc // line_bytes)
+            if op == OpClass.LOAD:
+                loads += 1
+                data_lines.add(record.ea // line_bytes)
+            elif op == OpClass.STORE:
+                stores += 1
+                data_lines.add(record.ea // line_bytes)
+            elif record.is_branch:
+                branches += 1
+                if record.taken:
+                    taken += 1
+            if op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_FMA, OpClass.FP_DIV):
+                fp += 1
+            if record.privileged:
+                privileged += 1
+
+        count = len(self.records)
+        divisor = max(count, 1)
+        return TraceStats(
+            instruction_count=count,
+            op_counts=dict(op_counts),
+            load_fraction=loads / divisor,
+            store_fraction=stores / divisor,
+            branch_fraction=branches / divisor,
+            fp_fraction=fp / divisor,
+            taken_branch_fraction=taken / max(branches, 1),
+            privileged_fraction=privileged / divisor,
+            unique_code_lines=len(code_lines),
+            unique_data_lines=len(data_lines),
+            code_footprint_bytes=len(code_lines) * line_bytes,
+            data_footprint_bytes=len(data_lines) * line_bytes,
+        )

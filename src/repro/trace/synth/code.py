@@ -1,0 +1,210 @@
+"""Static code image for synthetic workloads.
+
+Builds the program structure that the dynamic walker
+(:mod:`repro.trace.synth.generator`) executes: a list of basic blocks laid
+out at consecutive addresses, each with a terminal control transfer (or
+fall-through) and, for conditional branches, a fixed per-branch behaviour
+model.  Keeping branch behaviour *static per branch site* is what lets a
+real branch-history table learn it — and lets a too-small table thrash
+when the static branch population is large (TPC-C, Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.trace.synth.profiles import WorkloadProfile
+
+#: Default base address of user text.
+USER_TEXT_BASE = 0x0010_0000
+
+#: Default base address of kernel text (distinct high region).
+KERNEL_TEXT_BASE = 0x7000_0000
+
+INSTRUCTION_BYTES = 4
+
+
+class TerminalKind(Enum):
+    """How a basic block ends."""
+
+    COND = auto()
+    UNCOND = auto()
+    CALL = auto()
+    RET = auto()
+    NONE = auto()  # fall through to the next block
+
+
+class BranchBehavior(Enum):
+    """Dynamic behaviour class of a static conditional branch."""
+
+    LOOP = auto()  # taken (trip) times, then not-taken once
+    BIASED_TAKEN = auto()
+    BIASED_NOT = auto()
+    RANDOM = auto()
+
+
+@dataclass
+class StaticBlock:
+    """One basic block in the static code image."""
+
+    index: int
+    start_pc: int
+    #: Instruction count, including the terminal when terminal != NONE.
+    length: int
+    terminal: TerminalKind
+    #: Target block index for COND/UNCOND/CALL terminals.
+    target_block: Optional[int] = None
+    behavior: Optional[BranchBehavior] = None
+    #: Trip count for LOOP-behaviour branches.
+    loop_trip: int = 0
+    #: Taken probability for BIASED behaviours.
+    bias: float = 0.5
+    is_function_entry: bool = False
+    privileged: bool = False
+
+    @property
+    def body_length(self) -> int:
+        """Number of non-terminal instructions in the block."""
+        if self.terminal is TerminalKind.NONE:
+            return self.length
+        return self.length - 1
+
+    @property
+    def terminal_pc(self) -> int:
+        """Address of the terminal instruction (last slot of the block)."""
+        return self.start_pc + (self.length - 1) * INSTRUCTION_BYTES
+
+    @property
+    def end_pc(self) -> int:
+        """Address one past the block."""
+        return self.start_pc + self.length * INSTRUCTION_BYTES
+
+
+class CodeImage:
+    """A laid-out set of basic blocks plus the function-entry index."""
+
+    def __init__(self, blocks: List[StaticBlock], function_entries: List[int], base: int):
+        if not blocks:
+            raise ConfigError("code image needs at least one block")
+        self.blocks = blocks
+        self.function_entries = function_entries
+        self.base = base
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total text bytes spanned by the image."""
+        return self.blocks[-1].end_pc - self.base
+
+
+def build_code_image(
+    profile: WorkloadProfile,
+    rng: DeterministicRng,
+    block_count: int,
+    base: int = USER_TEXT_BASE,
+    privileged: bool = False,
+) -> CodeImage:
+    """Build a static code image per the profile's code-shape parameters.
+
+    ``block_count`` is passed separately so the same profile can describe
+    both its user image and its (differently sized) kernel image.
+    """
+    if block_count < 2:
+        raise ConfigError("block_count must be >= 2")
+
+    branch_mix = profile.branch_mix
+    terminal_weights = [
+        (TerminalKind.COND, profile.conditional_terminal_fraction),
+        (TerminalKind.UNCOND, profile.unconditional_terminal_fraction),
+        (TerminalKind.CALL, profile.call_terminal_fraction),
+        (TerminalKind.RET, profile.return_terminal_fraction),
+    ]
+    fallthrough_weight = 1.0 - sum(weight for _, weight in terminal_weights)
+    terminal_kinds = [kind for kind, _ in terminal_weights] + [TerminalKind.NONE]
+    terminal_probs = [weight for _, weight in terminal_weights] + [fallthrough_weight]
+
+    behavior_kinds = [BranchBehavior.LOOP, BranchBehavior.BIASED_TAKEN, BranchBehavior.RANDOM]
+    behavior_probs = [
+        branch_mix.loop_fraction,
+        branch_mix.biased_fraction,
+        branch_mix.random_fraction,
+    ]
+
+    # First pass: block skeletons (length, terminal kind, function entry).
+    blocks: List[StaticBlock] = []
+    function_entries: List[int] = []
+    pc = base
+    for index in range(block_count):
+        length = rng.geometric(profile.block_length_mean, maximum=32)
+        terminal = rng.weighted_choice(terminal_kinds, terminal_probs)
+        # The last block must not fall off the image — not even via a
+        # not-taken conditional — so force an unconditional terminal.
+        if index == block_count - 1 and terminal in (TerminalKind.NONE, TerminalKind.COND):
+            terminal = TerminalKind.UNCOND
+        if terminal is not TerminalKind.NONE and length < 2:
+            length = 2
+        is_entry = rng.chance(profile.function_fraction)
+        block = StaticBlock(
+            index=index,
+            start_pc=pc,
+            length=length,
+            terminal=terminal,
+            is_function_entry=is_entry,
+            privileged=privileged,
+        )
+        if is_entry:
+            function_entries.append(index)
+        blocks.append(block)
+        pc = block.end_pc
+
+    if not function_entries:
+        # Guarantee at least one call target.
+        blocks[block_count // 2].is_function_entry = True
+        function_entries.append(block_count // 2)
+
+    # Second pass: assign targets and branch behaviour.
+    for block in blocks:
+        if block.terminal is TerminalKind.COND:
+            behavior = rng.weighted_choice(behavior_kinds, behavior_probs)
+            if behavior is BranchBehavior.LOOP:
+                block.behavior = BranchBehavior.LOOP
+                block.loop_trip = max(
+                    branch_mix.loop_trip_min,
+                    rng.geometric(branch_mix.loop_trip_mean, maximum=512),
+                )
+                # Loop back edges are the only *static* targets: a backward
+                # edge, matching compiler layout where backward branches are
+                # loop bottoms.  Walk back far enough that the loop body has
+                # a representative instruction mix (tiny two-instruction
+                # self-loops would make the dynamic stream branch-dominated).
+                span = block.length
+                target = block.index
+                min_span = max(12, int(2 * profile.block_length_mean))
+                while target > 0 and span < min_span and block.index - target < 8:
+                    target -= 1
+                    span += blocks[target].length
+                block.target_block = target
+            else:
+                if behavior is BranchBehavior.BIASED_TAKEN:
+                    block.behavior = (
+                        BranchBehavior.BIASED_TAKEN
+                        if rng.chance(0.5)
+                        else BranchBehavior.BIASED_NOT
+                    )
+                    block.bias = branch_mix.bias
+                else:
+                    block.behavior = BranchBehavior.RANDOM
+                    block.bias = 0.5
+                # Non-loop targets are chosen dynamically by the walker
+                # (drifting locality window), so the walk roams the image
+                # the way phased program execution does.
+                block.target_block = None
+        # UNCOND/CALL/RET targets are dynamic (walker-chosen) as well.
+
+    return CodeImage(blocks, function_entries, base)

@@ -1,0 +1,183 @@
+"""Data-address stream generators.
+
+Each memory operation in a synthetic trace draws its effective address
+from one of four stream types (mixed per the profile's
+:class:`~repro.trace.synth.profiles.DataMix`):
+
+- **hot** — Zipf-skewed references into a small region; models stack,
+  globals, and hot database rows.  Mostly L1 hits.
+- **stride** — a set of concurrent sequential streams with fixed strides;
+  models array sweeps.  This is the pattern the SPARC64 V's L2 hardware
+  prefetcher captures (§3.4).
+- **chain** — a deterministic pseudo-random permutation walk over the
+  working set; models pointer chasing with full-region reuse but no
+  spatial locality (the OLTP signature).
+- **random** — uniform references over the working set; models index
+  lookups.
+
+All addresses are 8-byte aligned.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.trace.synth.profiles import DataMix
+
+#: Base virtual address of a workload's private data segment.
+USER_DATA_BASE = 0x1000_0000
+
+#: Base virtual address of the kernel data segment.
+KERNEL_DATA_BASE = 0x8000_0000
+
+#: Base virtual address of the SMP shared segment (same on every CPU).
+SHARED_DATA_BASE = 0xC000_0000
+
+_ALIGN = ~0x7
+
+
+class StrideStream:
+    """One sequential stream: base + k*stride, restarted after a run."""
+
+    def __init__(self, rng: DeterministicRng, region_base: int, region_bytes: int,
+                 stride: int, run_length: int) -> None:
+        self._rng = rng
+        self._region_base = region_base
+        self._region_bytes = max(region_bytes, 4096)
+        self._stride = stride
+        self._run_length = max(run_length, 4)
+        self._position = 0
+        self._remaining = 0
+        self._restart()
+
+    def _restart(self) -> None:
+        limit = max(self._region_bytes - self._stride * self._run_length - 8, 8)
+        self._position = self._region_base + (self._rng.randint(0, limit) & _ALIGN)
+        self._remaining = self._run_length
+
+    def next_address(self) -> int:
+        if self._remaining <= 0:
+            self._restart()
+        address = self._position
+        self._position += self._stride
+        self._remaining -= 1
+        return address
+
+
+class ChainStream:
+    """Pseudo-random permutation walk (pointer chasing).
+
+    Uses a full-period LCG over the line index space so the walk touches
+    every line in the region before repeating — maximal temporal reuse
+    distance, zero spatial locality, exactly the pattern that defeats both
+    small caches and next-line prefetching.
+    """
+
+    LINE = 64
+
+    def __init__(self, rng: DeterministicRng, region_base: int, region_bytes: int) -> None:
+        self._region_base = region_base
+        self._lines = max(region_bytes // self.LINE, 16)
+        # Full-period LCG parameters: modulus = line count (made power of
+        # two), multiplier ≡ 1 mod 4, odd increment.
+        self._modulus = 1 << (self._lines - 1).bit_length()
+        self._multiplier = 5
+        self._increment = (rng.randint(0, self._modulus // 2) * 2 + 1) % self._modulus
+        self._state = rng.randint(0, self._modulus - 1)
+
+    def next_address(self) -> int:
+        while True:
+            self._state = (self._state * self._multiplier + self._increment) % self._modulus
+            if self._state < self._lines:
+                break
+        offset_in_line = 0  # chase the line-head pointer
+        return self._region_base + self._state * self.LINE + offset_in_line
+
+
+class AddressGenerator:
+    """Per-workload data-address source mixing the four stream kinds."""
+
+    def __init__(
+        self,
+        mix: DataMix,
+        rng: DeterministicRng,
+        region_base: int = USER_DATA_BASE,
+    ) -> None:
+        mix.validate()
+        self._mix = mix
+        self._rng = rng
+        self._region_base = region_base
+        self._hot_slots = max(mix.hot_region_bytes // 8, 8)
+        self._ws_slots = max(mix.working_set_bytes // 8, 64)
+        stride_rng = rng.fork(11)
+        self._stride_streams: List[StrideStream] = [
+            StrideStream(
+                stride_rng.fork(i),
+                region_base,
+                mix.working_set_bytes,
+                stride=stride_rng.choice(mix.stride_bytes_choices),
+                run_length=mix.stride_run_length,
+            )
+            for i in range(max(mix.stride_stream_count, 1))
+        ]
+        self._next_stride_stream = 0
+        self._chain = ChainStream(rng.fork(13), region_base, mix.working_set_bytes)
+        self._kinds = ("hot", "stride", "chain", "random")
+        self._weights = (
+            mix.hot_fraction,
+            mix.stride_fraction,
+            mix.chain_fraction,
+            mix.random_fraction,
+        )
+
+    def hot_address(self, rng) -> int:
+        """One hot-stream address: exponential core + uniform tail."""
+        mix = self._mix
+        if mix.hot_tail_fraction > 0 and rng.chance(mix.hot_tail_fraction):
+            tail_slots = max(mix.hot_tail_region_bytes // 8, 8)
+            slot = rng.randint(0, tail_slots - 1)
+            return self._region_base + slot * 8
+        # Exponential core: ~95% of draws inside hot_region_bytes.
+        slot = rng.geometric(max(self._hot_slots // 3, 1), maximum=self._hot_slots) - 1
+        return self._region_base + slot * 8
+
+    def next_address(self) -> int:
+        """Draw the next data effective address (8-byte aligned)."""
+        kind = self._rng.weighted_choice(self._kinds, self._weights)
+        if kind == "hot":
+            return self.hot_address(self._rng)
+        if kind == "stride":
+            stream = self._stride_streams[self._next_stride_stream]
+            self._next_stride_stream = (self._next_stride_stream + 1) % len(
+                self._stride_streams
+            )
+            return stream.next_address() & _ALIGN
+        if kind == "chain":
+            return self._chain.next_address()
+        # random
+        slot = self._rng.randint(0, self._ws_slots - 1)
+        return self._region_base + slot * 8
+
+
+class SharedRegionGenerator:
+    """Addresses in the SMP shared segment (same mapping on all CPUs).
+
+    Shared lines are drawn Zipf-skewed so some lines are heavily contended
+    (lock words, hot rows), producing the cache-to-cache move-out traffic
+    the paper's two-level hierarchy argument is about (§3.3).
+    """
+
+    def __init__(self, rng: DeterministicRng, region_bytes: int,
+                 base: int = SHARED_DATA_BASE, skew: float = 0.9) -> None:
+        if region_bytes <= 0:
+            raise ConfigError("shared region must be positive")
+        self._rng = rng
+        self._base = base
+        self._slots = max(region_bytes // 8, 64)
+        self._skew = skew
+
+    def next_address(self) -> int:
+        slot = self._rng.zipf_index(self._slots, self._skew)
+        return self._base + slot * 8

@@ -1,0 +1,412 @@
+"""Workload profiles.
+
+A :class:`WorkloadProfile` is the complete statistical description of a
+synthetic workload.  The five presets model the suites in the paper's
+evaluation.  Their parameters were set from the paper's own
+characterisation (Figure 7's stall breakdown, Figures 10/12/13/15's miss
+ratios) and the public character of each suite:
+
+- **SPECint95 / SPECint2000** — branchy integer code, small-to-moderate
+  code and data footprints, high cache-hit ratios (paper §4.3.1 notes SPEC
+  int gains most from wide issue *because* of its high hit ratios).
+- **SPECfp95 / SPECfp2000** — loop-dominated FP code: few, highly
+  predictable branches, large strided array working sets (paper: prefetch
+  "fits the chain access pattern", SPECfp gains >13% IPC from prefetch,
+  74% of SPECfp95 time is core execution).
+- **TPC-C** — enterprise OLTP: huge instruction footprint spread over
+  application + kernel code (35% of time stalled on L2 misses, BHT
+  capacity sensitive, L1-size sensitive), pointer-chasing data with a
+  multi-megabyte working set, ~30–40% kernel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BranchMix:
+    """Distribution of static conditional-branch behaviour classes.
+
+    Each static branch is assigned one class at code-generation time:
+
+    - ``loop``: taken ``loop_trip`` times, then not taken once (classic
+      counted loop back edge; predictable by a 2-bit counter except at
+      exit).
+    - ``biased``: taken (or not) with probability ``bias`` independently.
+    - ``random``: 50/50 — unpredictable by any history-less table.
+    """
+
+    loop_fraction: float = 0.4
+    biased_fraction: float = 0.45
+    random_fraction: float = 0.15
+    loop_trip_mean: float = 12.0
+    bias: float = 0.88
+    #: Minimum iterations per loop activation (floors the geometric draw;
+    #: FP inner loops never run just once or twice).
+    loop_trip_min: int = 1
+    #: Mean not-taken encounters after a loop exits before it re-arms.
+    #: Models phased execution: a finished loop is not immediately
+    #: re-invoked, so the walk flows onward instead of being recaptured
+    #: by the hottest back edge.  1.0 reproduces the classic
+    #: taken^trip / one-not-taken cycle.
+    loop_dormancy_mean: float = 1.0
+
+    def validate(self) -> None:
+        total = self.loop_fraction + self.biased_fraction + self.random_fraction
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigError(f"branch class fractions must sum to 1, got {total}")
+        if not 0.5 <= self.bias <= 1.0:
+            raise ConfigError(f"bias must be in [0.5, 1], got {self.bias}")
+
+
+@dataclass(frozen=True)
+class DataMix:
+    """Distribution of data-access streams.
+
+    Fractions select, per memory operation, which address stream supplies
+    the effective address:
+
+    - ``hot``: Zipf-skewed references into a small hot region (stack,
+      globals, hot rows) — mostly L1 hits.
+    - ``stride``: sequential array streams with a fixed small stride —
+      the prefetch-friendly "chain access pattern" of §3.4/§4.3.5.
+    - ``chain``: pointer-chase walk over the full working set — poor
+      spatial locality, the OLTP signature.
+    - ``random``: uniform references into the working set.
+    """
+
+    hot_fraction: float = 0.55
+    stride_fraction: float = 0.2
+    chain_fraction: float = 0.1
+    random_fraction: float = 0.15
+    hot_region_bytes: int = 32 * 1024
+    working_set_bytes: int = 1 * 1024 * 1024
+    hot_zipf_skew: float = 1.2
+    #: Fraction of hot accesses drawn uniformly from the *hot tail* region
+    #: instead of the exponential hot core.  The tail creates the graded
+    #: locality band between L1 sizes (Figures 11-13): the core fits any
+    #: L1; the tail fits the 128 KB cache much better than the 32 KB one.
+    hot_tail_fraction: float = 0.0
+    hot_tail_region_bytes: int = 256 * 1024
+    stride_bytes_choices: Tuple[int, ...] = (8, 8, 16, 32, 64)
+    stride_stream_count: int = 8
+    stride_run_length: int = 64
+
+    def validate(self) -> None:
+        total = (
+            self.hot_fraction
+            + self.stride_fraction
+            + self.chain_fraction
+            + self.random_fraction
+        )
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigError(f"data stream fractions must sum to 1, got {total}")
+        if self.hot_region_bytes <= 0 or self.working_set_bytes <= 0:
+            raise ConfigError("data regions must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Full statistical description of a synthetic workload."""
+
+    name: str
+
+    # --- static code shape ------------------------------------------------
+    #: Number of user-code basic blocks (code footprint ≈ blocks × ~6 × 4 B).
+    block_count: int = 2000
+    #: Mean instructions per basic block (including the terminal branch).
+    block_length_mean: float = 6.0
+    #: Fraction of blocks that are function entries (CALL targets).
+    function_fraction: float = 0.06
+    #: Fraction of block terminals that are conditional branches; the rest
+    #: split among unconditional branches, calls, returns and fall-through.
+    conditional_terminal_fraction: float = 0.62
+    unconditional_terminal_fraction: float = 0.10
+    call_terminal_fraction: float = 0.06
+    return_terminal_fraction: float = 0.06
+    #: Remaining blocks fall through to the next block without a branch.
+
+    #: Zipf skew over blocks when selecting branch targets (hot code).
+    code_zipf_skew: float = 1.0
+    #: Fraction of branch targets that are "local" (within a few blocks).
+    local_target_fraction: float = 0.7
+    #: Fraction of the code image forming the cycling *active set*: far
+    #: jumps land uniformly inside it (with a small tail outside).  The
+    #: active set is what creates medium-distance code reuse — the branch
+    #: sites that pressure BHT capacity and the instruction lines that
+    #: pressure L1I capacity.
+    active_block_fraction: float = 1.0
+    #: Probability that a far jump stays inside the active set.
+    active_target_probability: float = 0.95
+    #: Zipf skew of far-jump targets *within* the active set (0 = uniform).
+    #: Shapes per-site reuse frequency: a moderate skew gives a hot head
+    #: (well-trained branch sites, resident I-lines) plus a medium-reuse
+    #: band — the band whose eviction separates a 16K-entry BHT from a
+    #: 4K-entry one.
+    active_zipf_skew: float = 0.0
+
+    # --- instruction mix (non-branch body instructions) --------------------
+    load_fraction: float = 0.25
+    store_fraction: float = 0.11
+    fp_fraction: float = 0.0
+    #: Split of the FP fraction across add/mul/fma/div.
+    fp_mix: Tuple[float, float, float, float] = (0.35, 0.3, 0.3, 0.05)
+    int_mul_fraction: float = 0.01
+    int_div_fraction: float = 0.002
+    special_fraction: float = 0.004
+    nop_fraction: float = 0.01
+
+    # --- dependence shape ---------------------------------------------------
+    #: Mean "recency" when drawing source registers: 1 = always depend on
+    #: the immediately preceding result (serial); larger = more ILP.
+    dependency_recency_mean: float = 3.0
+    #: Probability that the instruction after a load consumes the load.
+    load_use_probability: float = 0.3
+
+    # --- branch behaviour -----------------------------------------------------
+    branch_mix: BranchMix = field(default_factory=BranchMix)
+
+    # --- data behaviour ------------------------------------------------------
+    data_mix: DataMix = field(default_factory=DataMix)
+
+    # --- kernel excursions (TPC-C only) ---------------------------------------
+    #: Target fraction of instructions executed in privileged mode.
+    kernel_fraction: float = 0.0
+    #: Kernel code footprint in basic blocks.
+    kernel_block_count: int = 0
+    #: Mean instructions per kernel excursion.
+    kernel_burst_mean: float = 400.0
+    #: Kernel data working set (separate region from user data).
+    kernel_working_set_bytes: int = 2 * 1024 * 1024
+
+    # --- SMP sharing (used by synth.smp) -----------------------------------
+    #: Fraction of data accesses that go to the globally shared region.
+    shared_access_fraction: float = 0.0
+    shared_region_bytes: int = 4 * 1024 * 1024
+    #: Fraction of shared-region accesses that are writes (drives move-outs).
+    shared_write_fraction: float = 0.25
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent parameters."""
+        self.branch_mix.validate()
+        self.data_mix.validate()
+        body_fracs = (
+            self.load_fraction
+            + self.store_fraction
+            + self.fp_fraction
+            + self.int_mul_fraction
+            + self.int_div_fraction
+            + self.special_fraction
+            + self.nop_fraction
+        )
+        if body_fracs >= 1.0:
+            raise ConfigError(
+                f"{self.name}: body instruction fractions sum to {body_fracs:.3f} >= 1"
+            )
+        terminals = (
+            self.conditional_terminal_fraction
+            + self.unconditional_terminal_fraction
+            + self.call_terminal_fraction
+            + self.return_terminal_fraction
+        )
+        if terminals > 1.0 + 1e-9:
+            raise ConfigError(f"{self.name}: terminal fractions sum to {terminals:.3f} > 1")
+        if self.block_count <= 1:
+            raise ConfigError(f"{self.name}: need at least 2 blocks")
+        if self.kernel_fraction > 0 and self.kernel_block_count <= 1:
+            raise ConfigError(f"{self.name}: kernel fraction requires kernel blocks")
+        if abs(sum(self.fp_mix) - 1.0) > 1e-6:
+            raise ConfigError(f"{self.name}: fp_mix must sum to 1")
+
+    def derived(self, **changes) -> "WorkloadProfile":
+        """A copy of this profile with the given fields replaced."""
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# Presets.
+# ---------------------------------------------------------------------------
+
+SPEC_INT_95 = WorkloadProfile(
+    name="SPECint95",
+    block_count=1400,
+    block_length_mean=5.5,
+    conditional_terminal_fraction=0.64,
+    code_zipf_skew=1.6,
+    local_target_fraction=0.75,
+    load_fraction=0.24,
+    store_fraction=0.11,
+    fp_fraction=0.0,
+    special_fraction=0.01,
+    dependency_recency_mean=2.8,
+    branch_mix=BranchMix(
+        loop_fraction=0.34,
+        biased_fraction=0.63,
+        random_fraction=0.03,
+        loop_trip_mean=16.0,
+        bias=0.97,
+        loop_dormancy_mean=18.0,
+    ),
+    data_mix=DataMix(
+        hot_fraction=0.93,
+        stride_fraction=0.03,
+        chain_fraction=0.01,
+        random_fraction=0.03,
+        hot_region_bytes=16 * 1024,
+        working_set_bytes=320 * 1024,
+        hot_zipf_skew=1.4,
+        hot_tail_fraction=0.08,
+        hot_tail_region_bytes=128 * 1024,
+        stride_bytes_choices=(8, 8, 8, 16),
+    ),
+)
+
+SPEC_FP_95 = WorkloadProfile(
+    name="SPECfp95",
+    block_count=700,
+    block_length_mean=14.0,
+    conditional_terminal_fraction=0.55,
+    call_terminal_fraction=0.03,
+    return_terminal_fraction=0.03,
+    code_zipf_skew=1.6,
+    load_fraction=0.26,
+    store_fraction=0.09,
+    fp_fraction=0.34,
+    special_fraction=0.008,
+    dependency_recency_mean=5.0,
+    branch_mix=BranchMix(
+        loop_fraction=0.80,
+        biased_fraction=0.17,
+        random_fraction=0.03,
+        loop_trip_mean=44.0,
+        bias=0.95,
+        loop_trip_min=16,
+        loop_dormancy_mean=1.0,
+    ),
+    data_mix=DataMix(
+        hot_fraction=0.55,
+        stride_fraction=0.44,
+        chain_fraction=0.002,
+        random_fraction=0.008,
+        hot_region_bytes=16 * 1024,
+        hot_tail_fraction=0.06,
+        hot_tail_region_bytes=128 * 1024,
+        working_set_bytes=2 * 1024 * 1024 + 320 * 1024,
+        hot_zipf_skew=1.2,
+        stride_bytes_choices=(8, 8, 8, 8, 16),
+        stride_stream_count=12,
+        stride_run_length=1024,
+    ),
+)
+
+SPEC_INT_2000 = SPEC_INT_95.derived(
+    name="SPECint2000",
+    block_count=2800,
+    data_mix=DataMix(
+        hot_fraction=0.91,
+        stride_fraction=0.04,
+        chain_fraction=0.02,
+        random_fraction=0.03,
+        hot_region_bytes=20 * 1024,
+        working_set_bytes=640 * 1024,
+        hot_zipf_skew=1.4,
+        hot_tail_fraction=0.08,
+        hot_tail_region_bytes=144 * 1024,
+        stride_bytes_choices=(8, 8, 8, 16),
+    ),
+    branch_mix=BranchMix(
+        loop_fraction=0.34,
+        biased_fraction=0.59,
+        random_fraction=0.07,
+        loop_trip_mean=13.0,
+        bias=0.95,
+        loop_dormancy_mean=18.0,
+    ),
+)
+
+SPEC_FP_2000 = SPEC_FP_95.derived(
+    name="SPECfp2000",
+    block_count=900,
+    data_mix=DataMix(
+        hot_fraction=0.532,
+        stride_fraction=0.455,
+        chain_fraction=0.005,
+        random_fraction=0.008,
+        hot_region_bytes=16 * 1024,
+        hot_tail_fraction=0.06,
+        hot_tail_region_bytes=128 * 1024,
+        working_set_bytes=3 * 1024 * 1024 + 256 * 1024,
+        hot_zipf_skew=1.2,
+        stride_bytes_choices=(8, 8, 8, 8, 16),
+        stride_stream_count=16,
+        stride_run_length=1280,
+    ),
+)
+
+TPCC = WorkloadProfile(
+    name="TPC-C",
+    block_count=26000,
+    block_length_mean=5.0,
+    conditional_terminal_fraction=0.60,
+    call_terminal_fraction=0.08,
+    return_terminal_fraction=0.08,
+    code_zipf_skew=0.9,
+    local_target_fraction=0.45,
+    active_block_fraction=0.18,
+    active_target_probability=0.98,
+    active_zipf_skew=0.2,
+    load_fraction=0.27,
+    store_fraction=0.13,
+    fp_fraction=0.0,
+    special_fraction=0.012,
+    dependency_recency_mean=2.4,
+    branch_mix=BranchMix(
+        loop_fraction=0.18,
+        biased_fraction=0.795,
+        random_fraction=0.025,
+        loop_trip_mean=18.0,
+        bias=0.97,
+        loop_dormancy_mean=45.0,
+    ),
+    data_mix=DataMix(
+        hot_fraction=0.9825,
+        stride_fraction=0.0035,
+        chain_fraction=0.004,
+        random_fraction=0.010,
+        hot_region_bytes=16 * 1024,
+        working_set_bytes=5 * 1024 * 1024,
+        hot_zipf_skew=1.2,
+        hot_tail_fraction=0.10,
+        hot_tail_region_bytes=160 * 1024,
+    ),
+    kernel_fraction=0.34,
+    kernel_block_count=14000,
+    kernel_burst_mean=420.0,
+    kernel_working_set_bytes=2 * 1024 * 1024,
+    shared_access_fraction=0.01,
+    shared_region_bytes=8 * 1024 * 1024,
+    shared_write_fraction=0.22,
+)
+
+_PRESETS: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (SPEC_INT_95, SPEC_FP_95, SPEC_INT_2000, SPEC_FP_2000, TPCC)
+}
+
+
+def standard_profiles() -> Dict[str, WorkloadProfile]:
+    """The five presets used throughout the paper's evaluation."""
+    return dict(_PRESETS)
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up a preset by its paper name (e.g. ``"SPECint95"``)."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ConfigError(f"unknown workload profile {name!r}; known: {known}") from None

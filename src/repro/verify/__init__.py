@@ -1,0 +1,41 @@
+"""Verification methodology (paper §2, §5, Figure 19).
+
+The paper's model was verified in three loops (Figure 3):
+
+1. model output drives hardware design decisions;
+2. performance test programs — generated from instruction traces by the
+   *Reverse Tracer* — run on the RTL logic simulator, and their results
+   are compared with the model fed the original trace;
+3. final accuracy is measured against the physical machine.
+
+This package reproduces the loop-(2) machinery with simulation
+substitutes: :class:`ReverseTracer` turns a trace into an executable test
+program; :class:`LogicSimulator` is the execution-driven path (functional
+SPARC-subset execution feeding the same cycle engine); and
+:mod:`repro.verify.fidelity` + :mod:`repro.verify.accuracy` reproduce the
+model-version history and the accuracy-convergence study of Figure 19,
+using the final model as the "physical machine" and cross-seed traces as
+the sampling error (so the final error is honest and non-zero).
+"""
+
+from repro.verify.reverse_tracer import ReplayFidelity, ReverseTracer
+from repro.verify.logicsim import LogicSimResult, LogicSimulator, cross_check
+from repro.verify.fidelity import MODEL_VERSIONS, model_version
+from repro.verify.accuracy import (
+    AccuracyPoint,
+    accuracy_history,
+    version_estimate_history,
+)
+
+__all__ = [
+    "ReverseTracer",
+    "ReplayFidelity",
+    "LogicSimulator",
+    "LogicSimResult",
+    "cross_check",
+    "MODEL_VERSIONS",
+    "model_version",
+    "AccuracyPoint",
+    "accuracy_history",
+    "version_estimate_history",
+]

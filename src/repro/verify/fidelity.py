@@ -1,0 +1,139 @@
+"""Model-version fidelity presets (Figure 19, upper graph).
+
+The paper improved one performance model continuously; major updates got
+version labels v1…v8, and "the performance estimates were always
+decreasing … The exception at v5 is the result of more-precise modeling
+of special instructions.  Until v4, we set an experimental penalty to
+each special instruction instead of modeling it in detail."
+
+Each preset here reproduces one rigidity level by switching detail off
+(or, for the special-instruction penalty, substituting the pessimistic
+flat experimental value the paper describes):
+
+====  ==========================================================
+v1    latency-only memory side: no bank conflicts, generous MSHRs,
+      wide buses, no TLB walks, cheap special instructions
+v2    + finite bus bandwidth (request/data occupy the buses)
+v3    + L1 operand-cache bank conflicts (8 × 4 B banks)
+v4    + TLB walks; special instructions get the *flat experimental
+      penalty* (pessimistic, pre-detailed model)
+v5    + detailed special-instruction model (serialise at window head)
+      — estimates move *up*, the paper's v5 anomaly
+v6    + realistic MSHR (outstanding-miss) limits
+v7    + memory-channel occupancy and queueing
+v8    final model (= the production configuration)
+====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.memory.params import BusParams, MemoryParams
+from repro.model.config import MachineConfig, base_config
+
+#: The pessimistic flat penalty (cycles) used for special instructions
+#: before they were modelled in detail (applied in v1–v4).
+EXPERIMENTAL_SPECIAL_PENALTY = 50
+
+
+def _wide(bus: BusParams) -> BusParams:
+    """An effectively infinite-bandwidth version of a bus."""
+    return BusParams(bus.name + "-ideal", latency=bus.latency, bytes_per_cycle=4096)
+
+
+def _v1(final: MachineConfig) -> MachineConfig:
+    return final.derived(
+        "v1",
+        core=final.core.derived(
+            special_serialize=False, special_latency=1
+        ),
+        l1i=final.l1i.scaled(mshr_count=64),
+        l1d=final.l1d.scaled(mshr_count=64, banks=1, bank_bytes=4),
+        l2=final.l2.scaled(mshr_count=64),
+        l1_l2_bus=_wide(final.l1_l2_bus),
+        system_bus=_wide(final.system_bus),
+        memory=MemoryParams(
+            latency=final.memory.latency, channels=64, channel_occupancy=1
+        ),
+        perfect_tlb=True,
+    )
+
+
+def _v2(final: MachineConfig) -> MachineConfig:
+    v1 = _v1(final)
+    return v1.derived(
+        "v2", l1_l2_bus=final.l1_l2_bus, system_bus=final.system_bus
+    )
+
+
+def _v3(final: MachineConfig) -> MachineConfig:
+    v2 = _v2(final)
+    return v2.derived("v3", l1d=v2.l1d.scaled(banks=final.l1d.banks))
+
+
+def _v4(final: MachineConfig) -> MachineConfig:
+    v3 = _v3(final)
+    return v3.derived(
+        "v4",
+        perfect_tlb=False,
+        core=v3.core.derived(
+            special_serialize=False, special_latency=EXPERIMENTAL_SPECIAL_PENALTY
+        ),
+    )
+
+
+def _v5(final: MachineConfig) -> MachineConfig:
+    v4 = _v4(final)
+    return v4.derived(
+        "v5",
+        core=v4.core.derived(
+            special_serialize=final.core.special_serialize,
+            special_latency=final.core.special_latency,
+        ),
+    )
+
+
+def _v6(final: MachineConfig) -> MachineConfig:
+    v5 = _v5(final)
+    return v5.derived(
+        "v6",
+        l1i=final.l1i,
+        l1d=final.l1d,
+        l2=final.l2,
+    )
+
+
+def _v7(final: MachineConfig) -> MachineConfig:
+    v6 = _v6(final)
+    return v6.derived("v7", memory=final.memory)
+
+
+def _v8(final: MachineConfig) -> MachineConfig:
+    return final.derived("v8")
+
+
+_BUILDERS: Dict[str, Callable[[MachineConfig], MachineConfig]] = {
+    "v1": _v1,
+    "v2": _v2,
+    "v3": _v3,
+    "v4": _v4,
+    "v5": _v5,
+    "v6": _v6,
+    "v7": _v7,
+    "v8": _v8,
+}
+
+#: Version labels in chronological order.
+MODEL_VERSIONS: List[str] = list(_BUILDERS)
+
+
+def model_version(label: str, final: MachineConfig = None) -> MachineConfig:
+    """The machine configuration corresponding to model version ``label``."""
+    final = final or base_config()
+    try:
+        return _BUILDERS[label](final)
+    except KeyError:
+        raise ValueError(
+            f"unknown model version {label!r}; known: {', '.join(MODEL_VERSIONS)}"
+        ) from None

@@ -1,0 +1,347 @@
+"""Reverse Tracer: generate executable test programs from traces.
+
+Reproduction of the tool of [11] (Sakamoto et al., HPCA 2002): given a
+dynamic instruction trace, emit a self-contained program that — when
+executed — replays the trace's behaviour.  Replay can never be perfect
+for arbitrary traces (branch outcomes and effective addresses are
+data-dependent), so this implementation reconstructs the *static* code
+from the trace and rebuilds each behaviour it can express exactly,
+approximating the rest and reporting a :class:`ReplayFidelity` score:
+
+- per-site opcode/operand structure: exact;
+- conditional branches classified ALWAYS/NEVER/LOOP(k) replay exactly
+  (loops get dedicated counter registers while the pool lasts); MIXED
+  sites fall back to their majority direction;
+- memory operations replay each site's first observed effective address
+  (as an absolute displacement); varying addresses are approximated;
+- CALLs replay exactly; RETURNs become direct jumps to the site's
+  dominant dynamic successor (register-window return-address discipline
+  is outside the subset).
+
+The program ends with HALT after replaying approximately the original
+instruction count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import TraceError
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.opcodes import OpClass
+from repro.isa.program import Program
+from repro.isa.registers import FP_REG_BASE, ICC, is_fp_reg
+from repro.trace.record import NO_REG, TraceRecord
+from repro.trace.stream import Trace
+
+#: Counter registers available for LOOP-site replay.
+_LOOP_COUNTER_POOL = tuple(range(16, 31))
+
+#: Scratch registers for generic integer results.
+_SCRATCH_INT = (8, 9, 10, 11, 12, 13, 14)
+_SCRATCH_FP = tuple(range(0, 16))
+
+
+@dataclass
+class ReplayFidelity:
+    """How faithfully the generated program can replay the trace."""
+
+    static_sites: int = 0
+    exact_branch_sites: int = 0
+    approximated_branch_sites: int = 0
+    loop_sites_with_counters: int = 0
+    memory_sites: int = 0
+    constant_address_sites: int = 0
+    return_sites_approximated: int = 0
+    #: pcs observed with more than one opcode class (kernel-transition
+    #: sites in synthetic traces); replayed with their majority class.
+    polymorphic_sites: int = 0
+
+    @property
+    def branch_exact_fraction(self) -> float:
+        total = self.exact_branch_sites + self.approximated_branch_sites
+        if total == 0:
+            return 1.0
+        return self.exact_branch_sites / total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "static_sites": self.static_sites,
+            "exact_branch_sites": self.exact_branch_sites,
+            "approximated_branch_sites": self.approximated_branch_sites,
+            "branch_exact_fraction": round(self.branch_exact_fraction, 4),
+            "loop_sites_with_counters": self.loop_sites_with_counters,
+            "memory_sites": self.memory_sites,
+            "constant_address_sites": self.constant_address_sites,
+            "return_sites_approximated": self.return_sites_approximated,
+            "polymorphic_sites": self.polymorphic_sites,
+        }
+
+
+class _SiteInfo:
+    """Everything observed about one static pc in the trace."""
+
+    __slots__ = ("record", "outcomes", "addresses", "successors", "order", "op_counts")
+
+    def __init__(self, record: TraceRecord, order: int) -> None:
+        self.record = record
+        self.outcomes: List[bool] = []
+        self.addresses: List[int] = []
+        self.successors: Counter = Counter()
+        self.order = order
+        self.op_counts: Counter = Counter()
+
+
+def _classify_outcomes(outcomes: List[bool]) -> Tuple[str, int]:
+    """Classify a branch-outcome sequence: always/never/loop(k)/mixed."""
+    if all(outcomes):
+        return "always", 0
+    if not any(outcomes):
+        return "never", 0
+    # Loop pattern: k takens followed by one not-taken, repeated; the
+    # final (possibly truncated) period may be incomplete.
+    first_not = outcomes.index(False)
+    k = first_not
+    if k == 0:
+        return "mixed", 0
+    position = 0
+    for outcome in outcomes:
+        expected = position < k
+        if outcome != expected:
+            return "mixed", 0
+        position = 0 if position == k else position + 1
+    return "loop", k
+
+
+class ReverseTracer:
+    """Builds replay programs from dynamic traces."""
+
+    def __init__(self, max_loop_counters: int = len(_LOOP_COUNTER_POOL)) -> None:
+        self.max_loop_counters = max(0, min(max_loop_counters, len(_LOOP_COUNTER_POOL)))
+
+    # ------------------------------------------------------------------
+
+    def generate(self, trace: Trace) -> Tuple[Program, ReplayFidelity]:
+        """Produce a test program replaying ``trace`` plus fidelity info."""
+        if len(trace) == 0:
+            raise TraceError("cannot reverse-trace an empty trace")
+        sites = self._collect_sites(trace)
+        ordered = sorted(sites.values(), key=lambda site: site.record.pc)
+        fidelity = ReplayFidelity(static_sites=len(ordered))
+        fidelity.polymorphic_sites = self._polymorphic
+
+        program = Program(name=f"rt-{trace.name}")
+        label_of = {site.record.pc: f"L{site.record.pc:x}" for site in ordered}
+
+        # Preamble: initialise loop counters.
+        loop_plan = self._plan_loops(ordered, fidelity)
+        for pc in sorted(loop_plan):
+            register, trip = loop_plan[pc]
+            program.append(Instruction(Mnemonic.MOV, rd=register, imm=trip + 1))
+
+        for site in ordered:
+            instructions = self._emit_site(site, label_of, loop_plan, fidelity)
+            instructions[0].label = label_of[site.record.pc]
+            program.extend(instructions)
+        program.append(Instruction(Mnemonic.HALT, label="halt_pad"))
+        program.finalize()
+        return program, fidelity
+
+    # ------------------------------------------------------------------
+
+    def _collect_sites(self, trace: Trace) -> Dict[int, _SiteInfo]:
+        sites: Dict[int, _SiteInfo] = {}
+        previous: Optional[TraceRecord] = None
+        for order, record in enumerate(trace.records):
+            site = sites.get(record.pc)
+            if site is None:
+                site = _SiteInfo(record, order)
+                sites[record.pc] = site
+            site.op_counts[record.op] += 1
+            if record.op == site.record.op:
+                if record.is_conditional_branch:
+                    site.outcomes.append(record.taken)
+                if record.is_memory:
+                    site.addresses.append(record.ea)
+            if previous is not None and previous.is_branch:
+                sites[previous.pc].successors[record.pc] += 1
+            previous = record
+        # Resolve polymorphic sites (rare: kernel entry/exit pcs) to their
+        # majority class: keep the first record of that class.
+        majority_fix = []
+        for site in sites.values():
+            if len(site.op_counts) > 1:
+                majority_fix.append(site)
+        if majority_fix:
+            by_pc_class: Dict[tuple, TraceRecord] = {}
+            for record in trace.records:
+                key = (record.pc, record.op)
+                if key not in by_pc_class:
+                    by_pc_class[key] = record
+            for site in majority_fix:
+                majority_op = site.op_counts.most_common(1)[0][0]
+                site.record = by_pc_class[(site.record.pc, majority_op)]
+        self._polymorphic = len(majority_fix)
+        return sites
+
+    def _plan_loops(
+        self, ordered: List[_SiteInfo], fidelity: ReplayFidelity
+    ) -> Dict[int, Tuple[int, int]]:
+        """Assign counter registers to replayable LOOP sites."""
+        plan: Dict[int, Tuple[int, int]] = {}
+        pool = list(_LOOP_COUNTER_POOL[: self.max_loop_counters])
+        candidates = []
+        for site in ordered:
+            if not site.record.is_conditional_branch or not site.outcomes:
+                continue
+            kind, trip = _classify_outcomes(site.outcomes)
+            if kind == "loop":
+                candidates.append((len(site.outcomes), site.record.pc, trip))
+        # Busiest loops get the counters.
+        for _, pc, trip in sorted(candidates, reverse=True):
+            if not pool:
+                break
+            plan[pc] = (pool.pop(), trip)
+        fidelity.loop_sites_with_counters = len(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def _emit_site(
+        self,
+        site: _SiteInfo,
+        label_of: Dict[int, str],
+        loop_plan: Dict[int, Tuple[int, int]],
+        fidelity: ReplayFidelity,
+    ) -> List[Instruction]:
+        record = site.record
+        op = record.op
+        if op == OpClass.LOAD:
+            return [self._emit_memory(site, fidelity, load=True)]
+        if op == OpClass.STORE:
+            return [self._emit_memory(site, fidelity, load=False)]
+        if op == OpClass.BRANCH_COND:
+            return self._emit_conditional(site, label_of, loop_plan, fidelity)
+        if op == OpClass.BRANCH_UNCOND:
+            target = self._dominant_successor(site)
+            return [Instruction(Mnemonic.BA, target=label_of.get(target, "halt_pad"))]
+        if op == OpClass.CALL:
+            target = self._dominant_successor(site)
+            return [Instruction(Mnemonic.CALL, target=label_of.get(target, "halt_pad"))]
+        if op == OpClass.RETURN:
+            fidelity.return_sites_approximated += 1
+            target = self._dominant_successor(site)
+            return [Instruction(Mnemonic.BA, target=label_of.get(target, "halt_pad"))]
+        return [self._emit_compute(record)]
+
+    def _dominant_successor(self, site: _SiteInfo) -> int:
+        if site.successors:
+            return site.successors.most_common(1)[0][0]
+        return site.record.target if site.record.target >= 0 else site.record.pc + 4
+
+    def _emit_conditional(
+        self,
+        site: _SiteInfo,
+        label_of: Dict[int, str],
+        loop_plan: Dict[int, Tuple[int, int]],
+        fidelity: ReplayFidelity,
+    ) -> List[Instruction]:
+        record = site.record
+        taken_target = None
+        # The taken successor is the recorded target; find its label.
+        if record.target >= 0 and record.target in label_of:
+            taken_target = label_of[record.target]
+        kind, _ = _classify_outcomes(site.outcomes) if site.outcomes else ("never", 0)
+
+        if record.pc in loop_plan and taken_target is not None:
+            register, trip = loop_plan[record.pc]
+            fidelity.exact_branch_sites += 1
+            # counter -= 1; branch while non-zero; re-arm on fall-through.
+            return [
+                Instruction(Mnemonic.SUBCC, rd=register, rs1=register, imm=1),
+                Instruction(Mnemonic.BNE, target=taken_target),
+                Instruction(Mnemonic.MOV, rd=register, imm=trip + 1),
+            ]
+        if kind == "always" and taken_target is not None:
+            fidelity.exact_branch_sites += 1
+            # %g0 - %g0 = 0 -> icc.zero, so BE is always taken.
+            return [
+                Instruction(Mnemonic.SUBCC, rd=0, rs1=0, rs2=0),
+                Instruction(Mnemonic.BE, target=taken_target),
+            ]
+        if kind == "never":
+            fidelity.exact_branch_sites += 1
+            # %g0 - 1 != 0, so BE is never taken.
+            return [
+                Instruction(Mnemonic.SUBCC, rd=0, rs1=0, imm=1),
+                Instruction(Mnemonic.BE, target=taken_target or "halt_pad"),
+            ]
+        # MIXED (or unresolvable target): majority direction.
+        fidelity.approximated_branch_sites += 1
+        majority_taken = sum(site.outcomes) * 2 >= len(site.outcomes)
+        if majority_taken and taken_target is not None:
+            return [
+                Instruction(Mnemonic.SUBCC, rd=0, rs1=0, rs2=0),
+                Instruction(Mnemonic.BE, target=taken_target),
+            ]
+        return [
+            Instruction(Mnemonic.SUBCC, rd=0, rs1=0, imm=1),
+            Instruction(Mnemonic.BE, target=taken_target or "halt_pad"),
+        ]
+
+    def _emit_memory(
+        self, site: _SiteInfo, fidelity: ReplayFidelity, load: bool
+    ) -> Instruction:
+        record = site.record
+        fidelity.memory_sites += 1
+        if len(set(site.addresses)) <= 1:
+            fidelity.constant_address_sites += 1
+        address = site.addresses[0] if site.addresses else 0
+        address &= ~0x7
+        if load:
+            dest = record.dest
+            if dest != NO_REG and is_fp_reg(dest):
+                return Instruction(
+                    Mnemonic.LDF, rd=dest - FP_REG_BASE, rs1=0, imm=address
+                )
+            rd = (dest % 7 + 8) if dest != NO_REG else 8
+            return Instruction(Mnemonic.LDX, rd=rd, rs1=0, imm=address)
+        data_src = record.srcs[-1] if record.srcs else 8
+        if is_fp_reg(data_src):
+            return Instruction(
+                Mnemonic.STF, rd=data_src - FP_REG_BASE, rs1=0, imm=address
+            )
+        return Instruction(Mnemonic.STX, rd=data_src % 7 + 8, rs1=0, imm=address)
+
+    def _emit_compute(self, record: TraceRecord) -> Instruction:
+        op = record.op
+        dest = record.dest
+        if op == OpClass.INT_ALU and dest == ICC:
+            return Instruction(Mnemonic.SUBCC, rd=0, rs1=8, rs2=9)
+        scratch_rd = _SCRATCH_INT[(dest if dest >= 0 else 0) % len(_SCRATCH_INT)]
+        int_srcs = [s for s in record.srcs if 0 <= s < 32]
+        rs1 = int_srcs[0] % 7 + 8 if int_srcs else 8
+        rs2 = int_srcs[1] % 7 + 8 if len(int_srcs) > 1 else None
+        if op == OpClass.INT_ALU:
+            return Instruction(Mnemonic.ADD, rd=scratch_rd, rs1=rs1, rs2=rs2, imm=1)
+        if op == OpClass.INT_MUL:
+            return Instruction(Mnemonic.MULX, rd=scratch_rd, rs1=rs1, rs2=rs2, imm=3)
+        if op == OpClass.INT_DIV:
+            return Instruction(Mnemonic.SDIVX, rd=scratch_rd, rs1=rs1, imm=7)
+        fp_rd = _SCRATCH_FP[(dest - FP_REG_BASE if is_fp_reg(dest) else 0) % len(_SCRATCH_FP)]
+        fp_srcs = [s - FP_REG_BASE for s in record.srcs if is_fp_reg(s)]
+        frs1 = fp_srcs[0] if fp_srcs else 0
+        frs2 = fp_srcs[1] if len(fp_srcs) > 1 else frs1
+        if op == OpClass.FP_ADD:
+            return Instruction(Mnemonic.FADD, rd=fp_rd, rs1=frs1, rs2=frs2)
+        if op == OpClass.FP_MUL:
+            return Instruction(Mnemonic.FMUL, rd=fp_rd, rs1=frs1, rs2=frs2)
+        if op == OpClass.FP_FMA:
+            return Instruction(Mnemonic.FMADD, rd=fp_rd, rs1=frs1, rs2=frs2)
+        if op == OpClass.FP_DIV:
+            return Instruction(Mnemonic.FDIV, rd=fp_rd, rs1=frs1, rs2=frs2)
+        if op == OpClass.SPECIAL:
+            return Instruction(Mnemonic.MEMBAR)
+        return Instruction(Mnemonic.NOP)

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "SPARC-V9" in out
+        assert "1.3 GHz" in out
+
+    def test_table1_variant(self, capsys):
+        main(["table1", "--config", "l2-off-8m-2w"])
+        out = capsys.readouterr().out
+        assert "8 MB" in out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "SPECint95", "--config", "nope"])
+
+    def test_run_small(self, capsys):
+        main(["run", "SPECint95", "--warm", "4000", "--timed", "2000"])
+        out = capsys.readouterr().out
+        assert "ipc" in out
+
+    def test_trace_generation(self, tmp_path, capsys):
+        path = tmp_path / "t.trc"
+        main(["trace", "SPECfp95", str(path), "--length", "2000"])
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "2,000 records" in out
+        from repro.trace.io import read_trace
+
+        assert len(read_trace(path)) == 2000
+
+    def test_trace_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "SPECweb", str(tmp_path / "t.trc")])
+
+    def test_verify(self, capsys):
+        main(["verify", "--length", "1200", "--workload", "SPECint95"])
+        out = capsys.readouterr().out
+        assert "cross-check OK" in out
+
+    def test_smp(self, capsys):
+        main(["smp", "--cpus", "2", "--warm", "2000", "--timed", "1000"])
+        out = capsys.readouterr().out
+        assert "system_ipc" in out

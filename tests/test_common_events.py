@@ -1,0 +1,45 @@
+"""Unit tests for repro.common.events."""
+
+from repro.common.events import EventQueue
+
+
+class TestEventQueue:
+    def test_empty(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        assert list(queue.pop_due(100)) == []
+
+    def test_orders_by_cycle(self):
+        queue = EventQueue()
+        queue.schedule(5, "b")
+        queue.schedule(3, "a")
+        queue.schedule(9, "c")
+        assert queue.next_cycle() == 3
+        assert list(queue.pop_due(5)) == ["a", "b"]
+        assert list(queue.pop_due(9)) == ["c"]
+
+    def test_ties_preserve_insertion_order(self):
+        queue = EventQueue()
+        for index in range(10):
+            queue.schedule(7, index)
+        assert list(queue.pop_due(7)) == list(range(10))
+
+    def test_pop_due_leaves_future(self):
+        queue = EventQueue()
+        queue.schedule(1, "now")
+        queue.schedule(10, "later")
+        assert list(queue.pop_due(5)) == ["now"]
+        assert len(queue) == 1
+
+    def test_unorderable_payloads(self):
+        queue = EventQueue()
+        queue.schedule(1, {"a": 1})
+        queue.schedule(1, {"b": 2})
+        assert len(list(queue.pop_due(1))) == 2
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1, "x")
+        queue.clear()
+        assert not queue

@@ -1,0 +1,107 @@
+"""Unit tests for repro.common.rng."""
+
+from collections import Counter
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 1000) for _ in range(50)] == [
+            b.randint(0, 1000) for _ in range(50)
+        ]
+
+    def test_different_seed_different_stream(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10 ** 9) for _ in range(10)] != [
+            b.randint(0, 10 ** 9) for _ in range(10)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork(3)
+        b = DeterministicRng(7).fork(3)
+        assert a.random() == b.random()
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent1 = DeterministicRng(7)
+        parent1.random()
+        parent2 = DeterministicRng(7)
+        assert parent1.fork(5).random() == parent2.fork(5).random()
+
+    def test_forks_with_different_salts_differ(self):
+        parent = DeterministicRng(7)
+        assert parent.fork(1).random() != parent.fork(2).random()
+
+    def test_seed_property(self):
+        assert DeterministicRng(99).seed == 99
+
+
+class TestDistributions:
+    def test_chance_extremes(self):
+        rng = DeterministicRng(1)
+        assert all(rng.chance(1.0) for _ in range(10))
+        assert not any(rng.chance(0.0) for _ in range(10))
+
+    def test_chance_probability(self):
+        rng = DeterministicRng(1)
+        hits = sum(rng.chance(0.3) for _ in range(20000))
+        assert 0.27 < hits / 20000 < 0.33
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(3)
+        values = [rng.randint(5, 9) for _ in range(500)]
+        assert min(values) == 5
+        assert max(values) == 9
+
+    def test_geometric_mean(self):
+        rng = DeterministicRng(11)
+        draws = [rng.geometric(8.0) for _ in range(20000)]
+        mean = sum(draws) / len(draws)
+        assert 7.0 < mean < 9.0
+        assert min(draws) >= 1
+
+    def test_geometric_maximum_clamps(self):
+        rng = DeterministicRng(11)
+        assert all(rng.geometric(100.0, maximum=5) <= 5 for _ in range(200))
+
+    def test_geometric_mean_one(self):
+        rng = DeterministicRng(11)
+        assert all(rng.geometric(1.0) == 1 for _ in range(20))
+
+    def test_zipf_bounds(self):
+        rng = DeterministicRng(5)
+        values = [rng.zipf_index(100, 1.0) for _ in range(1000)]
+        assert all(0 <= value < 100 for value in values)
+
+    def test_zipf_skews_to_head(self):
+        rng = DeterministicRng(5)
+        values = [rng.zipf_index(1000, 1.5) for _ in range(5000)]
+        head = sum(1 for value in values if value < 100)
+        assert head / len(values) > 0.3  # far above the uniform 10%
+
+    def test_zipf_zero_skew_is_uniform_like(self):
+        rng = DeterministicRng(5)
+        values = [rng.zipf_index(1000, 0.0) for _ in range(5000)]
+        head = sum(1 for value in values if value < 100)
+        assert 0.05 < head / len(values) < 0.15
+
+    def test_zipf_population_one(self):
+        rng = DeterministicRng(5)
+        assert rng.zipf_index(1, 2.0) == 0
+
+    def test_weighted_choice_respects_weights(self):
+        rng = DeterministicRng(13)
+        picks = Counter(
+            rng.weighted_choice(("a", "b"), (0.9, 0.1)) for _ in range(5000)
+        )
+        assert picks["a"] > picks["b"] * 4
+
+    def test_shuffled_preserves_elements(self):
+        rng = DeterministicRng(17)
+        items = list(range(20))
+        assert sorted(rng.shuffled(items)) == items

@@ -1,0 +1,89 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import (
+    CYCLE_TIME_NS,
+    DEFAULT_CLOCK_GHZ,
+    is_power_of_two,
+    log2_int,
+    ns_to_cycles,
+    parse_size,
+    size_to_str,
+)
+
+
+class TestNsToCycles:
+    def test_paper_off_chip_penalty(self):
+        # §4.3.4: 10 ns at 1.3 GHz is 13 cycles.
+        assert ns_to_cycles(10.0) == 13
+
+    def test_zero(self):
+        assert ns_to_cycles(0.0) == 0
+
+    def test_rounds_up(self):
+        assert ns_to_cycles(1.0) == 2  # 1.3 cycles -> 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ns_to_cycles(-1.0)
+
+    def test_custom_clock(self):
+        assert ns_to_cycles(10.0, clock_ghz=1.0) == 10
+
+    def test_cycle_time_matches_clock(self):
+        assert abs(CYCLE_TIME_NS * DEFAULT_CLOCK_GHZ - 1.0) < 1e-12
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("128KB", 128 * 1024),
+            ("2MB", 2 * 1024 * 1024),
+            ("1GB", 1024 ** 3),
+            ("64B", 64),
+            ("64", 64),
+            (" 8 kb ", 8 * 1024),
+            ("0.5MB", 512 * 1024),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+    def test_roundtrip(self):
+        for size in (64, 1024, 128 * 1024, 2 * 1024 * 1024):
+            assert parse_size(size_to_str(size)) == size
+
+
+class TestSizeToStr:
+    def test_exact_suffixes(self):
+        assert size_to_str(128 * 1024) == "128KB"
+        assert size_to_str(2 * 1024 * 1024) == "2MB"
+        assert size_to_str(100) == "100B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            size_to_str(-1)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_log2(self):
+        assert log2_int(1) == 0
+        assert log2_int(64) == 6
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ConfigError):
+            log2_int(12)

@@ -1,0 +1,186 @@
+"""Unit tests for rename tracking, reservation stations, and core params."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.params import CoreParams, RsOrganization
+from repro.core.rename import RenameTracker
+from repro.core.reservation import ReservationStation, StationGroup
+from repro.core.uop import FAR_FUTURE, Uop, UopState
+from repro.isa.opcodes import EXECUTION_LATENCY, OpClass
+from repro.isa.registers import FCC, ICC, fp_reg
+from repro.trace.record import TraceRecord
+
+
+def make_uop(seq, op=OpClass.INT_ALU, dest=8, srcs=()):
+    return Uop(seq, TraceRecord(0x1000 + 4 * seq, op, dest=dest, srcs=srcs), 0)
+
+
+class TestCoreParams:
+    def test_table1_defaults(self):
+        params = CoreParams()
+        assert params.issue_width == 4
+        assert params.window_size == 64
+        assert params.int_rename == 32
+        assert params.fp_rename == 32
+        assert params.rsa_entries == 10
+        assert params.rsbr_entries == 10
+        assert params.load_queue == 16
+        assert params.store_queue == 10
+        assert params.rs_organization is RsOrganization.TWO_RS
+
+    def test_latency_of(self):
+        params = CoreParams()
+        assert params.latency_of(OpClass.INT_ALU) == EXECUTION_LATENCY[OpClass.INT_ALU]
+        assert params.latency_of(OpClass.SPECIAL) == params.special_latency
+
+    def test_latency_override(self):
+        params = CoreParams(latency_overrides={OpClass.INT_MUL: 9})
+        assert params.latency_of(OpClass.INT_MUL) == 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CoreParams(issue_width=0)
+        with pytest.raises(ConfigError):
+            CoreParams(window_size=1)
+        with pytest.raises(ConfigError):
+            CoreParams(load_queue=0)
+
+    def test_derived(self):
+        params = CoreParams().derived(issue_width=2)
+        assert params.issue_width == 2
+
+
+class TestRenameTracker:
+    def test_tracks_latest_producer(self):
+        tracker = RenameTracker(32, 32)
+        a = make_uop(0, dest=8)
+        b = make_uop(1, dest=8)
+        tracker.allocate(a)
+        tracker.allocate(b)
+        assert tracker.producer_of(8) is b
+
+    def test_committed_producer_invisible(self):
+        tracker = RenameTracker(32, 32)
+        a = make_uop(0, dest=8)
+        tracker.allocate(a)
+        a.state = UopState.COMMITTED
+        assert tracker.producer_of(8) is None
+
+    def test_capacity_int(self):
+        tracker = RenameTracker(2, 2)
+        tracker.allocate(make_uop(0, dest=8))
+        tracker.allocate(make_uop(1, dest=9))
+        assert not tracker.can_allocate("int")
+        assert tracker.int_full_stalls == 1
+
+    def test_release_frees_capacity(self):
+        tracker = RenameTracker(1, 1)
+        uop = make_uop(0, dest=8)
+        tracker.allocate(uop)
+        tracker.release(uop)
+        assert tracker.can_allocate("int")
+
+    def test_cc_not_capacity_limited(self):
+        tracker = RenameTracker(1, 1)
+        for seq in range(5):
+            uop = make_uop(seq, dest=ICC)
+            assert tracker.can_allocate(tracker.dest_kind(ICC))
+            tracker.allocate(uop)
+
+    def test_dest_kind(self):
+        assert RenameTracker.dest_kind(5) == "int"
+        assert RenameTracker.dest_kind(fp_reg(4)) == "fp"
+        assert RenameTracker.dest_kind(ICC) == "cc"
+        assert RenameTracker.dest_kind(FCC) == "cc"
+        assert RenameTracker.dest_kind(-1) is None
+
+
+class TestReservationStation:
+    def test_insert_free(self):
+        station = ReservationStation("RS", 2, 1)
+        uop = make_uop(0)
+        station.insert(uop)
+        assert station.occupancy() == 1
+        station.free(uop)
+        assert station.occupancy() == 0
+        assert not uop.holds_rs_entry
+
+    def test_capacity(self):
+        station = ReservationStation("RS", 1, 1)
+        station.insert(make_uop(0))
+        assert not station.has_space()
+        assert station.full_stalls == 1
+
+    def test_selects_oldest_ready(self):
+        station = ReservationStation("RS", 4, 1)
+        young = make_uop(5)
+        old = make_uop(2)
+        station.insert(young)
+        station.insert(old)
+        selected = station.select(0, exec_offset=2, speculative=True)
+        assert selected == [old]
+
+    def test_waiting_producer_blocks(self):
+        station = ReservationStation("RS", 4, 1)
+        producer = make_uop(0)
+        consumer = make_uop(1, srcs=(8,))
+        consumer.producers = (producer,)
+        station.insert(consumer)
+        assert station.select(0, 2, speculative=True) == []
+
+    def test_speculative_horizon(self):
+        station = ReservationStation("RS", 4, 1)
+        producer = make_uop(0)
+        producer.state = UopState.INFLIGHT
+        producer.result_ready = 5
+        consumer = make_uop(1, srcs=(8,))
+        consumer.producers = (producer,)
+        station.insert(consumer)
+        # At cycle 3, producer ready at 5 <= 3+2 -> dispatchable.
+        assert station.select(3, 2, speculative=True) == [consumer]
+        # At cycle 2, 5 > 4 -> not yet; next_eligible hints cycle 3.
+        consumer.state = UopState.WAITING
+        assert station.select(2, 2, speculative=True) == []
+        assert station.next_eligible == 3
+
+    def test_non_speculative_requires_done(self):
+        station = ReservationStation("RS", 4, 1)
+        producer = make_uop(0)
+        producer.state = UopState.INFLIGHT
+        producer.result_ready = 5
+        consumer = make_uop(1, srcs=(8,))
+        consumer.producers = (producer,)
+        station.insert(consumer)
+        assert station.select(10, 2, speculative=False) == []
+        producer.state = UopState.DONE
+        assert station.select(10, 2, speculative=False) == [consumer]
+
+    def test_dispatch_width(self):
+        station = ReservationStation("RS", 4, 2)
+        for seq in range(3):
+            station.insert(make_uop(seq))
+        assert len(station.select(0, 2, speculative=True)) == 2
+
+
+class TestStationGroup:
+    def test_least_occupied_chosen(self):
+        a = ReservationStation("A", 4, 1)
+        b = ReservationStation("B", 4, 1)
+        group = StationGroup("G", [a, b])
+        a.insert(make_uop(0))
+        assert group.station_for_insert() is b
+
+    def test_full_group(self):
+        a = ReservationStation("A", 1, 1)
+        group = StationGroup("G", [a])
+        a.insert(make_uop(0))
+        assert group.station_for_insert() is None
+
+    def test_total_occupancy(self):
+        a = ReservationStation("A", 4, 1)
+        b = ReservationStation("B", 4, 1)
+        group = StationGroup("G", [a, b])
+        a.insert(make_uop(0))
+        b.insert(make_uop(1))
+        assert group.total_occupancy() == 2

@@ -1,0 +1,187 @@
+"""Unit tests for the load/store unit (queues, ports, forwarding)."""
+
+import pytest
+
+from repro.core.lsq import LoadStoreUnit
+from repro.core.params import CoreParams
+from repro.core.uop import Uop, UopState
+from repro.isa.opcodes import OpClass
+from repro.model.simulator import build_hierarchy
+from repro.trace.record import TraceRecord
+
+
+@pytest.fixture
+def lsu(small_config):
+    hierarchy = build_hierarchy(small_config)
+    return LoadStoreUnit(CoreParams(), hierarchy), hierarchy
+
+
+def load_uop(seq, ea):
+    return Uop(seq, TraceRecord(0x1000 + seq * 4, OpClass.LOAD, dest=8,
+                                srcs=(1,), ea=ea, size=8), 0)
+
+
+def store_uop(seq, ea, data_producer=None):
+    return Uop(seq, TraceRecord(0x1000 + seq * 4, OpClass.STORE,
+                                srcs=(1, 9), ea=ea, size=8), 0)
+
+
+class TestAllocation:
+    def test_load_queue_capacity(self, lsu):
+        unit, _ = lsu
+        for seq in range(16):
+            assert unit.can_allocate_load()
+            unit.allocate(load_uop(seq, 0x1000 + seq * 64))
+        assert not unit.can_allocate_load()
+        assert unit.lq_full_stalls == 1
+
+    def test_store_queue_capacity(self, lsu):
+        unit, _ = lsu
+        for seq in range(10):
+            assert unit.can_allocate_store()
+            unit.allocate(store_uop(seq, 0x1000 + seq * 64))
+        assert not unit.can_allocate_store()
+
+    def test_release_frees_load_entry(self, lsu):
+        unit, _ = lsu
+        uop = load_uop(0, 0x1000)
+        unit.allocate(uop)
+        unit.release(uop)
+        assert unit.occupancy() == (0, 0)
+
+    def test_non_memory_uop_rejected(self, lsu):
+        from repro.common.errors import SimulationError
+
+        unit, _ = lsu
+        alu = Uop(0, TraceRecord(0x1000, OpClass.INT_ALU, dest=8), 0)
+        with pytest.raises(SimulationError):
+            unit.allocate(alu)
+
+
+class TestIssue:
+    def test_load_issues_after_address(self, lsu):
+        unit, _ = lsu
+        uop = load_uop(0, 0x8000)
+        uop.state = UopState.INFLIGHT
+        unit.allocate(uop)
+        resolutions, _ = unit.step(0)
+        assert resolutions == []  # address unknown
+        unit.address_generated(uop, cycle=3, predicted_ready=7)
+        resolutions, _ = unit.step(3)
+        assert len(resolutions) == 1
+        assert resolutions[0].uop is uop
+
+    def test_port_limit_two_per_cycle(self, lsu):
+        unit, _ = lsu
+        uops = []
+        for seq in range(4):
+            uop = load_uop(seq, 0x8000 + seq * 68)  # distinct banks/lines
+            uop.state = UopState.INFLIGHT
+            unit.allocate(uop)
+            unit.address_generated(uop, cycle=0, predicted_ready=4)
+            uops.append(uop)
+        resolutions, _ = unit.step(0)
+        assert len(resolutions) == 2  # two L1D ports (§3.2)
+        resolutions, _ = unit.step(1)
+        assert len(resolutions) == 2
+
+    def test_bank_conflict_retries(self, lsu):
+        unit, _ = lsu
+        # Same bank: same (addr // 4) % 8 — use identical offsets 2KB apart.
+        a = load_uop(0, 0x8000)
+        b = load_uop(1, 0x8000 + 2048)
+        for uop in (a, b):
+            uop.state = UopState.INFLIGHT
+            unit.allocate(uop)
+            unit.address_generated(uop, cycle=0, predicted_ready=4)
+        resolutions, _ = unit.step(0)
+        assert len(resolutions) == 1
+        assert unit.bank_conflicts == 1
+        resolutions, _ = unit.step(1)
+        assert len(resolutions) == 1  # retried next cycle
+
+    def test_prediction_held_flag(self, lsu):
+        unit, hierarchy = lsu
+        # Warm the line so the load hits at exactly the predicted time.
+        hierarchy.l1d.fill(0x8000)
+        hierarchy.dtlb.translate(0x8000)
+        uop = load_uop(0, 0x8000)
+        uop.state = UopState.INFLIGHT
+        unit.allocate(uop)
+        predicted = 3 + hierarchy.l1d.geometry.hit_latency
+        unit.address_generated(uop, cycle=3, predicted_ready=predicted)
+        resolutions, _ = unit.step(3)
+        assert resolutions[0].prediction_held
+        assert resolutions[0].level == "l1"
+
+    def test_miss_breaks_prediction(self, lsu):
+        unit, hierarchy = lsu
+        uop = load_uop(0, 0x8000)
+        uop.state = UopState.INFLIGHT
+        unit.allocate(uop)
+        unit.address_generated(uop, cycle=3, predicted_ready=7)
+        resolutions, _ = unit.step(3)
+        assert not resolutions[0].prediction_held
+
+
+class TestOrderingAndForwarding:
+    def test_unknown_store_address_blocks_younger_load(self, lsu):
+        unit, _ = lsu
+        store = store_uop(0, 0x8000)
+        store.state = UopState.INFLIGHT
+        unit.allocate(store)  # address not generated yet
+        load = load_uop(1, 0x9000)
+        load.state = UopState.INFLIGHT
+        unit.allocate(load)
+        unit.address_generated(load, cycle=0, predicted_ready=4)
+        resolutions, _ = unit.step(0)
+        assert resolutions == []
+        assert unit.order_stalls == 1
+
+    def test_forwarding_from_matching_store(self, lsu):
+        unit, _ = lsu
+        store = store_uop(0, 0x8000)
+        store.state = UopState.INFLIGHT
+        unit.allocate(store, data_producer=None)  # data ready immediately
+        unit.address_generated(store, cycle=0, predicted_ready=0)
+        load = load_uop(1, 0x8000)
+        load.state = UopState.INFLIGHT
+        unit.allocate(load)
+        unit.address_generated(load, cycle=0, predicted_ready=4)
+        resolutions, _ = unit.step(1)
+        assert len(resolutions) == 1
+        assert resolutions[0].level == "forward"
+        assert unit.forwards == 1
+
+    def test_store_writes_after_commit(self, lsu):
+        unit, hierarchy = lsu
+        store = store_uop(0, 0x8000)
+        store.state = UopState.INFLIGHT
+        unit.allocate(store)
+        unit.address_generated(store, cycle=0, predicted_ready=0)
+        _, activity = unit.step(1)
+        assert hierarchy.l1d.stats.demand_accesses == 0  # not yet committed
+        unit.store_committed(store, cycle=2)
+        unit.step(3)
+        assert hierarchy.l1d.stats.demand_accesses == 1
+
+    def test_load_cancel_resets_entry(self, lsu):
+        unit, _ = lsu
+        uop = load_uop(0, 0x8000)
+        uop.state = UopState.INFLIGHT
+        unit.allocate(uop)
+        unit.address_generated(uop, cycle=0, predicted_ready=4)
+        unit.load_cancelled(uop)
+        resolutions, _ = unit.step(0)
+        assert resolutions == []  # address invalidated
+
+
+class TestWakeHints:
+    def test_pending_work_cycle(self, lsu):
+        unit, _ = lsu
+        assert unit.pending_work_cycle(0) is None
+        uop = load_uop(0, 0x8000)
+        uop.state = UopState.INFLIGHT
+        unit.allocate(uop)
+        unit.address_generated(uop, cycle=10, predicted_ready=14)
+        assert unit.pending_work_cycle(0) == 10

@@ -1,0 +1,248 @@
+"""Unit and behaviour tests for the out-of-order pipeline engine."""
+
+import pytest
+
+from repro.core.pipeline import ProcessorCore
+from repro.core.params import RsOrganization
+from repro.isa.opcodes import OpClass
+from repro.model.simulator import build_hierarchy, warm_structures
+from repro.trace.record import TraceRecord, make_branch
+from repro.trace.stream import Trace
+
+
+def run_core(records, config, warm=True, max_cycles=500_000):
+    hierarchy = build_hierarchy(config)
+    trace = Trace(records, name="t")
+    core = ProcessorCore(trace, hierarchy, config.core, config.frontend, config.bht)
+    if warm:
+        warm_structures(hierarchy, core.fetch.bht, trace)
+    stats = core.run(max_cycles=max_cycles)
+    return stats, core, hierarchy
+
+
+def alu_block(count, base=0x1000, dest_cycle=8):
+    return [
+        TraceRecord(base + 4 * i, OpClass.INT_ALU, dest=8 + (i % dest_cycle), srcs=(1,))
+        for i in range(count)
+    ]
+
+
+class TestThroughput:
+    def test_independent_alu_bounded_by_dispatch(self, table1_config):
+        """Two integer units, one dispatch each per cycle: IPC -> 2."""
+        records = []
+        for _ in range(30):
+            records.extend(alu_block(255))
+            records.append(
+                make_branch(0x1000 + 4 * 255, taken=True, target=0x1000,
+                            conditional=False)
+            )
+        stats, _, _ = run_core(records, table1_config)
+        assert 1.6 < stats.ipc <= 2.05
+
+    def test_dependent_chain_ipc_one(self, table1_config):
+        """A serial dependence chain with forwarding commits ~1 per cycle."""
+        records = []
+        for _ in range(20):
+            records.extend(
+                TraceRecord(0x1000 + 4 * i, OpClass.INT_ALU, dest=8, srcs=(8,))
+                for i in range(255)
+            )
+            records.append(
+                make_branch(0x1000 + 4 * 255, taken=True, target=0x1000,
+                            conditional=False)
+            )
+        stats, _, _ = run_core(records, table1_config)
+        assert 0.8 < stats.ipc <= 1.1
+
+    def test_no_forwarding_slows_chain(self, table1_config):
+        records = []
+        for _ in range(10):
+            records.extend(
+                TraceRecord(0x1000 + 4 * i, OpClass.INT_ALU, dest=8, srcs=(8,))
+                for i in range(255)
+            )
+            records.append(
+                make_branch(0x1000 + 4 * 255, taken=True, target=0x1000,
+                            conditional=False)
+            )
+        fast, _, _ = run_core(records, table1_config)
+        slow_config = table1_config.derived(
+            "no-fwd", core=table1_config.core.derived(data_forwarding=False)
+        )
+        slow, _, _ = run_core(records, slow_config)
+        assert slow.ipc < fast.ipc
+
+    def test_fp_uses_fp_units(self, table1_config):
+        records = []
+        for _ in range(10):
+            records.extend(
+                TraceRecord(0x1000 + 4 * i, OpClass.FP_FMA, dest=40 + (i % 8),
+                            srcs=(33, 34))
+                for i in range(255)
+            )
+            records.append(
+                make_branch(0x1000 + 4 * 255, taken=True, target=0x1000,
+                            conditional=False)
+            )
+        stats, _, _ = run_core(records, table1_config)
+        assert stats.ipc > 1.2  # two pipelined FMA units
+
+
+class TestLoadBehaviour:
+    def _load_chain(self, ea_of, count=300):
+        records = []
+        pc = 0x1000
+        for i in range(count):
+            records.append(
+                TraceRecord(pc, OpClass.LOAD, dest=8, srcs=(1,), ea=ea_of(i), size=8)
+            )
+            pc += 4
+            records.append(TraceRecord(pc, OpClass.INT_ALU, dest=9, srcs=(8,)))
+            pc += 4
+        return records
+
+    def test_speculative_dispatch_replays_on_miss(self, table1_config):
+        records = self._load_chain(lambda i: 0x100000 + i * 8192)
+        stats, _, _ = run_core(records, table1_config, warm=False)
+        assert stats.replays > 0
+
+    def test_hits_cause_no_replays(self, table1_config):
+        records = self._load_chain(lambda i: 0x100000 + (i % 8) * 8)
+        stats, _, _ = run_core(records, table1_config)
+        assert stats.replays == 0
+        levels = stats.load_level_counts
+        assert levels.get("l1", 0) > 250
+
+    def test_speculative_dispatch_off_no_replays(self, table1_config):
+        config = table1_config.derived(
+            "no-spec", core=table1_config.core.derived(speculative_dispatch=False)
+        )
+        records = self._load_chain(lambda i: 0x100000 + i * 8192)
+        stats, _, _ = run_core(records, config, warm=False)
+        assert stats.replays == 0
+
+    def test_speculative_dispatch_helps_hits(self, table1_config):
+        records = self._load_chain(lambda i: 0x100000 + (i % 8) * 8)
+        fast, _, _ = run_core(records, table1_config)
+        config = table1_config.derived(
+            "no-spec", core=table1_config.core.derived(speculative_dispatch=False)
+        )
+        slow, _, _ = run_core(records, config)
+        assert fast.cycles < slow.cycles
+
+    def test_store_to_load_forwarding(self, table1_config):
+        records = []
+        pc = 0x1000
+        for i in range(100):
+            ea = 0x200000 + (i % 4) * 64
+            records.append(
+                TraceRecord(pc, OpClass.STORE, srcs=(1, 9), ea=ea, size=8)
+            )
+            pc += 4
+            records.append(
+                TraceRecord(pc, OpClass.LOAD, dest=8, srcs=(1,), ea=ea, size=8)
+            )
+            pc += 4
+        stats, _, _ = run_core(records, table1_config)
+        assert stats.store_forwards > 0
+
+    def test_bank_conflicts_counted(self, table1_config):
+        # Pairs of independent loads to the same bank (same addr mod 32).
+        records = []
+        pc = 0x1000
+        for i in range(200):
+            records.append(
+                TraceRecord(pc, OpClass.LOAD, dest=8, srcs=(1,),
+                            ea=0x100000 + (i % 4) * 32, size=8)
+            )
+            pc += 4
+            records.append(
+                TraceRecord(pc, OpClass.LOAD, dest=9, srcs=(2,),
+                            ea=0x140000 + (i % 4) * 32, size=8)
+            )
+            pc += 4
+        stats, _, _ = run_core(records, table1_config)
+        assert stats.bank_conflicts > 0
+
+
+class TestBranches:
+    def test_mispredicted_branch_costs_cycles(self, table1_config):
+        base = [
+            *alu_block(30),
+        ]
+        taken = list(base)
+        # Random-direction branch: untrained BHT mispredicts the taken one.
+        taken.append(make_branch(0x1000 + 4 * 30, taken=True, target=0x2000))
+        taken.extend(alu_block(30, base=0x2000))
+        not_taken = list(base)
+        not_taken.append(make_branch(0x1000 + 4 * 30, taken=False, target=0x2000))
+        not_taken.extend(alu_block(30, base=0x1000 + 4 * 31))
+        fast, _, _ = run_core(not_taken, table1_config)
+        slow, _, _ = run_core(taken, table1_config)
+        assert slow.cycles > fast.cycles
+
+    def test_branch_stats_populated(self, table1_config):
+        records = []
+        for _ in range(20):
+            records.extend(alu_block(62))
+            records.append(
+                TraceRecord(0x1000 + 4 * 62, OpClass.INT_ALU, dest=64, srcs=(8, 9))
+            )
+            records.append(
+                make_branch(0x1000 + 4 * 63, taken=True, target=0x1000, srcs=(64,))
+            )
+        stats, _, _ = run_core(records, table1_config)
+        assert stats.conditional_branches == 20
+        assert stats.branches == 20
+
+
+class TestOrganisation:
+    def test_one_rs_at_least_as_fast(self, table1_config):
+        """1RS dispatches flexibly; the paper found 2RS slightly slower."""
+        records = []
+        for _ in range(20):
+            records.extend(alu_block(255))
+            records.append(
+                make_branch(0x1000 + 4 * 255, taken=True, target=0x1000,
+                            conditional=False)
+            )
+        two_rs, _, _ = run_core(records, table1_config)
+        one_rs_config = table1_config.derived(
+            "1rs",
+            core=table1_config.core.derived(rs_organization=RsOrganization.ONE_RS),
+        )
+        one_rs, _, _ = run_core(records, one_rs_config)
+        assert one_rs.cycles <= two_rs.cycles
+
+    def test_issue_width_two_caps_ipc(self, table1_config):
+        records = []
+        for _ in range(20):
+            records.extend(alu_block(255))
+            records.append(
+                make_branch(0x1000 + 4 * 255, taken=True, target=0x1000,
+                            conditional=False)
+            )
+        config = table1_config.derived(
+            "2w", core=table1_config.core.derived(issue_width=2, commit_width=2)
+        )
+        stats, _, _ = run_core(records, config)
+        assert stats.ipc <= 2.01
+
+
+class TestTermination:
+    def test_all_instructions_commit(self, table1_config, alu_loop_trace):
+        stats, _, _ = run_core(list(alu_loop_trace.records), table1_config)
+        assert stats.instructions == len(alu_loop_trace)
+
+    def test_max_cycles_guard(self, table1_config):
+        from repro.common.errors import SimulationError
+
+        records = alu_block(100)
+        with pytest.raises(SimulationError):
+            run_core(records, table1_config, warm=False, max_cycles=3)
+
+    def test_determinism(self, table1_config, alu_loop_trace):
+        a, _, _ = run_core(list(alu_loop_trace.records), table1_config)
+        b, _, _ = run_core(list(alu_loop_trace.records), table1_config)
+        assert a.cycles == b.cycles

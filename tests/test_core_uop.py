@@ -1,0 +1,58 @@
+"""Unit tests for Uop state and CoreStats."""
+
+import pytest
+
+from repro.core.pipeline import CoreStats
+from repro.core.uop import FAR_FUTURE, Uop, UopState
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import ICC
+from repro.trace.record import TraceRecord
+
+
+def make(op=OpClass.INT_ALU, **kwargs):
+    return Uop(0, TraceRecord(0x1000, op, **kwargs), 0)
+
+
+class TestUop:
+    def test_initial_state(self):
+        uop = make(dest=8, srcs=(1, 2))
+        assert uop.state == UopState.WAITING
+        assert uop.result_ready == FAR_FUTURE
+        assert not uop.confirmed
+        assert uop.epoch == 0
+
+    def test_class_flags(self):
+        assert make(OpClass.LOAD, dest=8, ea=0x100, size=8).is_load
+        assert make(OpClass.STORE, ea=0x100, size=8).is_store
+        assert make(OpClass.BRANCH_COND, srcs=(ICC,), taken=True, target=0x2000).is_branch
+        alu = make()
+        assert not (alu.is_load or alu.is_store or alu.is_branch)
+
+    def test_op_property(self):
+        assert make(OpClass.FP_FMA, dest=40, srcs=(33, 34)).op == OpClass.FP_FMA
+
+    def test_repr_shows_state(self):
+        text = repr(make(dest=8))
+        assert "WAITING" in text
+
+    def test_state_ordering_for_lsq_checks(self):
+        # The LSQ relies on WAITING/INFLIGHT < DONE/COMMITTED numerically.
+        assert UopState.WAITING.value < UopState.DONE.value
+        assert UopState.INFLIGHT.value < UopState.DONE.value
+        assert UopState.DONE.value < UopState.COMMITTED.value
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        stats = CoreStats(cycles=200, instructions=100)
+        assert stats.ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert CoreStats().ipc == 0.0
+
+    def test_misprediction_ratio(self):
+        stats = CoreStats(branch_mispredictions=5, conditional_branches=50)
+        assert stats.misprediction_ratio == pytest.approx(0.1)
+
+    def test_misprediction_ratio_no_branches(self):
+        assert CoreStats().misprediction_ratio == 0.0

@@ -1,0 +1,99 @@
+"""Unit tests for the branch history table."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.frontend.bht import (
+    BHT_4K_2W_1T,
+    BHT_16K_4W_2T,
+    BhtParams,
+    BranchHistoryTable,
+)
+
+
+class TestParams:
+    def test_paper_configs(self):
+        assert BHT_16K_4W_2T.entries == 16 * 1024
+        assert BHT_16K_4W_2T.ways == 4
+        assert BHT_16K_4W_2T.access_latency == 2
+        assert BHT_4K_2W_1T.entries == 4 * 1024
+        assert BHT_4K_2W_1T.ways == 2
+        assert BHT_4K_2W_1T.access_latency == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BhtParams("bad", entries=100, ways=3)
+        with pytest.raises(ConfigError):
+            BhtParams("bad", entries=0)
+        with pytest.raises(ConfigError):
+            BhtParams("bad", access_latency=0)
+
+
+class TestPrediction:
+    def test_unknown_branch_predicts_not_taken(self):
+        table = BranchHistoryTable(BHT_16K_4W_2T)
+        assert table.predict(0x1000) is False
+
+    def test_learns_taken(self):
+        table = BranchHistoryTable(BHT_16K_4W_2T)
+        for _ in range(3):
+            table.update(0x1000, taken=True, predicted=table.predict(0x1000))
+        assert table.predict(0x1000) is True
+
+    def test_hysteresis(self):
+        table = BranchHistoryTable(BHT_16K_4W_2T)
+        for _ in range(4):
+            table.update(0x1000, taken=True, predicted=True)
+        # One not-taken should not flip a saturated counter.
+        table.update(0x1000, taken=False, predicted=True)
+        assert table.predict(0x1000) is True
+        table.update(0x1000, taken=False, predicted=True)
+        assert table.predict(0x1000) is False
+
+    def test_not_taken_branches_not_allocated(self):
+        table = BranchHistoryTable(BHT_16K_4W_2T)
+        table.update(0x1000, taken=False, predicted=False)
+        # Entry absent; a taken branch elsewhere in the set is unaffected.
+        assert table.stats.taken_misses == 0
+
+    def test_stats_count_mispredictions(self):
+        table = BranchHistoryTable(BHT_16K_4W_2T)
+        table.update(0x1000, taken=True, predicted=False)
+        table.update(0x1000, taken=True, predicted=True)
+        assert table.stats.conditional_branches == 2
+        assert table.stats.mispredictions == 1
+        assert table.stats.misprediction_ratio == pytest.approx(0.5)
+
+
+class TestCapacity:
+    def test_small_table_evicts_under_pressure(self):
+        params = BhtParams("tiny", entries=8, ways=2, access_latency=1)
+        table = BranchHistoryTable(params)
+        # Train 32 distinct taken branches; 8 entries cannot hold them.
+        pcs = [0x1000 + 4 * i for i in range(32)]
+        for _ in range(2):
+            for pc in pcs:
+                table.update(pc, taken=True, predicted=table.predict(pc))
+        # Re-visiting the first pcs should find them evicted.
+        assert table.predict(pcs[0]) is False
+
+    def test_large_table_retains(self):
+        table = BranchHistoryTable(BHT_16K_4W_2T)
+        pcs = [0x1000 + 4 * i for i in range(32)]
+        for _ in range(2):
+            for pc in pcs:
+                table.update(pc, taken=True, predicted=table.predict(pc))
+        assert all(table.predict(pc) for pc in pcs)
+
+    def test_capacity_separates_paper_tables(self):
+        """The 16K table must out-predict the 4K table when the active
+        branch-site set is between their capacities (Figure 10)."""
+        big = BranchHistoryTable(BHT_16K_4W_2T)
+        small = BranchHistoryTable(BHT_4K_2W_1T)
+        pcs = [0x10000 + 4 * i for i in range(8000)]
+        for round_index in range(3):
+            for pc in pcs:
+                for table in (big, small):
+                    predicted = table.predict(pc)
+                    table.update(pc, taken=True, predicted=predicted)
+        assert small.stats.misprediction_ratio > big.stats.misprediction_ratio

@@ -1,0 +1,106 @@
+"""End-to-end integration tests exercising whole-system behaviours.
+
+These assert the *qualitative relationships* the paper's studies turn on,
+at reduced scale so the suite stays fast.
+"""
+
+import pytest
+
+from repro.analysis.workloads import workload_by_name
+from repro.model.config import (
+    base_config,
+    l1_32k_1w_3c,
+    l2_off_8m_1w,
+    prefetch_off,
+)
+from repro.model.simulator import PerformanceModel
+
+
+def run(config, workload):
+    return PerformanceModel(config).run(
+        workload.trace(),
+        warmup_fraction=workload.warmup_fraction,
+        regions=workload.regions(),
+    )
+
+
+@pytest.fixture(scope="module")
+def tpcc():
+    return workload_by_name("TPC-C", warm=40_000, timed=12_000)
+
+
+@pytest.fixture(scope="module")
+def fp95():
+    return workload_by_name("SPECfp95", warm=40_000, timed=12_000)
+
+
+@pytest.fixture(scope="module")
+def int95():
+    return workload_by_name("SPECint95", warm=40_000, timed=12_000)
+
+
+class TestL1Study:
+    """Figures 11-13: the small direct-mapped L1 must miss more on TPC-C."""
+
+    def test_small_l1_misses_more(self, tpcc):
+        big = run(base_config(), tpcc)
+        small = run(l1_32k_1w_3c(), tpcc)
+        assert small.miss_ratio("l1i") > big.miss_ratio("l1i")
+        assert small.miss_ratio("l1d") > big.miss_ratio("l1d")
+
+    def test_spec_less_sensitive_than_tpcc(self, tpcc, int95):
+        big_tpcc = run(base_config(), tpcc)
+        small_tpcc = run(l1_32k_1w_3c(), tpcc)
+        big_int = run(base_config(), int95)
+        small_int = run(l1_32k_1w_3c(), int95)
+        tpcc_delta = small_tpcc.miss_ratio("l1i") - big_tpcc.miss_ratio("l1i")
+        int_delta = small_int.miss_ratio("l1i") - big_int.miss_ratio("l1i")
+        assert tpcc_delta > int_delta
+
+
+class TestL2Study:
+    """Figures 14-15: the direct-mapped off-chip L2 hurts TPC-C."""
+
+    def test_off_chip_direct_mapped_slower_on_tpcc(self, tpcc):
+        on_chip = run(base_config(), tpcc)
+        off_chip = run(l2_off_8m_1w(), tpcc)
+        assert off_chip.ipc < on_chip.ipc
+
+
+class TestPrefetchStudy:
+    """Figures 16-17: prefetch helps SPECfp most."""
+
+    def test_prefetch_improves_fp(self, fp95):
+        with_pf = run(base_config(), fp95)
+        without_pf = run(prefetch_off(), fp95)
+        assert with_pf.ipc > without_pf.ipc
+
+    def test_prefetch_cuts_demand_misses(self, fp95):
+        with_pf = run(base_config(), fp95)
+        without_pf = run(prefetch_off(), fp95)
+        assert with_pf.miss_ratio("l2") < without_pf.miss_ratio("l2")
+
+    def test_with_demand_distinction(self, fp95):
+        """Fig 17: total miss ratio (incl. prefetches) exceeds demand-only."""
+        with_pf = run(base_config(), fp95)
+        assert with_pf.miss_ratio("l2", demand_only=False) >= with_pf.miss_ratio("l2")
+
+
+class TestWorkloadCharacter:
+    """Figure 7 shapes at small scale."""
+
+    def test_fp_branch_stalls_smaller_than_int(self, fp95, int95):
+        fp_result = run(base_config(), fp95)
+        int_result = run(base_config(), int95)
+        assert fp_result.bht_misprediction_ratio < int_result.bht_misprediction_ratio
+
+    def test_tpcc_misses_most(self, tpcc, int95):
+        tpcc_result = run(base_config(), tpcc)
+        int_result = run(base_config(), int95)
+        assert tpcc_result.miss_ratio("l1i") > int_result.miss_ratio("l1i")
+        assert tpcc_result.ipc < int_result.ipc
+
+    def test_model_speed_reported(self, int95):
+        result = run(base_config(), int95)
+        # Pure-Python model: anywhere from 1k to 1M trace-instr/s.
+        assert 1_000 < result.sim_speed < 10_000_000

@@ -1,0 +1,301 @@
+"""Unit tests for the functional SPARC-subset executor."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa.executor import ExecutionResult, FunctionalExecutor
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.opcodes import OpClass
+from repro.isa.program import Program
+
+
+def run(instructions, memory=None, max_steps=10_000):
+    program = Program(name="t")
+    for instruction in instructions:
+        program.append(instruction)
+    if memory:
+        for address, value in memory.items():
+            program.set_memory(address, value)
+    return FunctionalExecutor(max_steps=max_steps).run(program)
+
+
+class TestArithmetic:
+    def test_add_immediate(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=10),
+            Instruction(Mnemonic.ADD, rd=2, rs1=1, imm=5),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(2) == 15
+
+    def test_add_register(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=10),
+            Instruction(Mnemonic.MOV, rd=2, imm=32),
+            Instruction(Mnemonic.ADD, rd=3, rs1=1, rs2=2),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(3) == 42
+
+    def test_sub_negative_wraps(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=1),
+            Instruction(Mnemonic.SUB, rd=2, rs1=0, rs2=1),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int_signed(2) == -1
+
+    def test_logic_ops(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=0b1100),
+            Instruction(Mnemonic.MOV, rd=2, imm=0b1010),
+            Instruction(Mnemonic.AND, rd=3, rs1=1, rs2=2),
+            Instruction(Mnemonic.OR, rd=4, rs1=1, rs2=2),
+            Instruction(Mnemonic.XOR, rd=5, rs1=1, rs2=2),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(3) == 0b1000
+        assert result.registers.read_int(4) == 0b1110
+        assert result.registers.read_int(5) == 0b0110
+
+    def test_shifts(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=4),
+            Instruction(Mnemonic.SLL, rd=2, rs1=1, imm=3),
+            Instruction(Mnemonic.SRL, rd=3, rs1=2, imm=1),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(2) == 32
+        assert result.registers.read_int(3) == 16
+
+    def test_mulx_sdivx(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=6),
+            Instruction(Mnemonic.MOV, rd=2, imm=7),
+            Instruction(Mnemonic.MULX, rd=3, rs1=1, rs2=2),
+            Instruction(Mnemonic.SDIVX, rd=4, rs1=3, rs2=1),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(3) == 42
+        assert result.registers.read_int(4) == 7
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run([
+                Instruction(Mnemonic.SDIVX, rd=1, rs1=0, rs2=0),
+                Instruction(Mnemonic.HALT),
+            ])
+
+    def test_g0_write_discarded(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=0, imm=5),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(0) == 0
+
+
+class TestFloatingPoint:
+    def test_fadd_fmul(self):
+        result = run([
+            Instruction(Mnemonic.LDF, rd=1, rs1=0, imm=0x100),
+            Instruction(Mnemonic.FADD, rd=2, rs1=1, rs2=1),
+            Instruction(Mnemonic.FMUL, rd=3, rs1=2, rs2=2),
+            Instruction(Mnemonic.HALT),
+        ])
+        # fp memory defaults to 0.0
+        assert result.registers.read_fp(3) == 0.0
+
+    def test_fmadd(self):
+        result = run([
+            Instruction(Mnemonic.FADD, rd=7, rs1=0, rs2=0),
+            Instruction(Mnemonic.FMADD, rd=7, rs1=1, rs2=2),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_fp(7) == 0.0
+
+    def test_fcmp_sets_fcc(self):
+        result = run([
+            Instruction(Mnemonic.FCMP, rs1=0, rs2=0),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.fcc_equal
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=0xDEAD),
+            Instruction(Mnemonic.STX, rd=1, rs1=0, imm=0x2000),
+            Instruction(Mnemonic.LDX, rd=2, rs1=0, imm=0x2000),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(2) == 0xDEAD
+
+    def test_initial_memory(self):
+        result = run(
+            [
+                Instruction(Mnemonic.LDX, rd=1, rs1=0, imm=0x3000),
+                Instruction(Mnemonic.HALT),
+            ],
+            memory={0x3000: 77},
+        )
+        assert result.registers.read_int(1) == 77
+
+    def test_effective_address_base_plus_imm(self):
+        result = run(
+            [
+                Instruction(Mnemonic.MOV, rd=1, imm=0x3000),
+                Instruction(Mnemonic.LDX, rd=2, rs1=1, imm=8),
+                Instruction(Mnemonic.HALT),
+            ],
+            memory={0x3008: 99},
+        )
+        assert result.registers.read_int(2) == 99
+
+    def test_record_carries_ea(self):
+        result = run(
+            [
+                Instruction(Mnemonic.LDX, rd=1, rs1=0, imm=0x3000),
+                Instruction(Mnemonic.HALT),
+            ],
+        )
+        assert result.records[0].ea == 0x3000
+        assert result.records[0].op == OpClass.LOAD
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=5),
+            Instruction(Mnemonic.MOV, rd=2, imm=0),
+            Instruction(Mnemonic.ADD, rd=2, rs1=2, imm=1, label="loop"),
+            Instruction(Mnemonic.SUBCC, rd=0, rs1=2, rs2=1),
+            Instruction(Mnemonic.BNE, target="loop"),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(2) == 5
+        branch_records = [r for r in result.records if r.is_conditional_branch]
+        assert [r.taken for r in branch_records] == [True] * 4 + [False]
+
+    def test_ba_always(self):
+        result = run([
+            Instruction(Mnemonic.BA, target="end"),
+            Instruction(Mnemonic.MOV, rd=1, imm=1),
+            Instruction(Mnemonic.HALT, label="end"),
+        ])
+        assert result.registers.read_int(1) == 0
+
+    def test_call_and_return(self):
+        result = run([
+            Instruction(Mnemonic.CALL, target="fn"),
+            Instruction(Mnemonic.MOV, rd=3, imm=9),  # return lands here
+            Instruction(Mnemonic.HALT),
+            Instruction(Mnemonic.MOV, rd=2, imm=4, label="fn"),
+            Instruction(Mnemonic.RET),
+        ])
+        assert result.registers.read_int(2) == 4
+        assert result.registers.read_int(3) == 9
+
+    def test_conditional_directions(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=3),
+            Instruction(Mnemonic.SUBCC, rd=0, rs1=1, imm=3),  # zero
+            Instruction(Mnemonic.BG, target="skip"),
+            Instruction(Mnemonic.MOV, rd=2, imm=1),
+            Instruction(Mnemonic.MOV, rd=3, imm=1, label="skip"),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(2) == 1  # BG not taken on equal
+
+    def test_trace_control_flow_consistent(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=3),
+            Instruction(Mnemonic.MOV, rd=2, imm=0),
+            Instruction(Mnemonic.ADD, rd=2, rs1=2, imm=1, label="loop"),
+            Instruction(Mnemonic.SUBCC, rd=0, rs1=2, rs2=1),
+            Instruction(Mnemonic.BNE, target="loop"),
+            Instruction(Mnemonic.HALT),
+        ])
+        from repro.trace.stream import Trace
+
+        Trace(result.records).validate()
+
+
+class TestLimits:
+    def test_runaway_raises(self):
+        with pytest.raises(SimulationError):
+            run(
+                [
+                    Instruction(Mnemonic.BA, target="self", label="self"),
+                ],
+                max_steps=100,
+            )
+
+    def test_halt_on_limit_mode(self):
+        program = Program(name="spin")
+        program.append(Instruction(Mnemonic.BA, target="self", label="self"))
+        executor = FunctionalExecutor(max_steps=100, halt_on_limit=True)
+        result = executor.run(program)
+        assert not result.halted
+        assert result.steps == 100
+
+    def test_fall_off_end_raises(self):
+        with pytest.raises(SimulationError):
+            run([Instruction(Mnemonic.NOP)])
+
+    def test_special_mnemonics_are_nops(self):
+        result = run([
+            Instruction(Mnemonic.SAVE),
+            Instruction(Mnemonic.RESTORE),
+            Instruction(Mnemonic.MEMBAR),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.steps == 3
+        assert all(r.op == OpClass.SPECIAL for r in result.records)
+
+
+class TestExtendedOps:
+    def test_sra_sign_extends(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=0),
+            Instruction(Mnemonic.SUB, rd=2, rs1=1, imm=8),   # -8
+            Instruction(Mnemonic.SRA, rd=3, rs1=2, imm=1),   # -4
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int_signed(3) == -4
+
+    def test_srl_zero_extends(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=0),
+            Instruction(Mnemonic.SUB, rd=2, rs1=1, imm=8),   # -8
+            Instruction(Mnemonic.SRL, rd=3, rs1=2, imm=1),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int_signed(3) > 0
+
+    def test_andn_orn_xnor(self):
+        result = run([
+            Instruction(Mnemonic.MOV, rd=1, imm=0b1100),
+            Instruction(Mnemonic.MOV, rd=2, imm=0b1010),
+            Instruction(Mnemonic.ANDN, rd=3, rs1=1, rs2=2),
+            Instruction(Mnemonic.ORN, rd=4, rs1=1, rs2=2),
+            Instruction(Mnemonic.XNOR, rd=5, rs1=1, rs2=2),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(3) == 0b0100
+        assert result.registers.read_int_signed(4) == (0b1100 | ~0b1010)
+        assert result.registers.read_int_signed(5) == ~(0b1100 ^ 0b1010)
+
+    def test_sethi(self):
+        result = run([
+            Instruction(Mnemonic.SETHI, rd=1, imm=0x3FF),
+            Instruction(Mnemonic.HALT),
+        ])
+        assert result.registers.read_int(1) == 0x3FF << 10
+
+    def test_extended_ops_are_alu_class(self):
+        from repro.isa.instructions import MNEMONIC_OPCLASS
+
+        for mnemonic in (Mnemonic.SRA, Mnemonic.ANDN, Mnemonic.ORN,
+                         Mnemonic.XNOR, Mnemonic.SETHI):
+            assert MNEMONIC_OPCLASS[mnemonic] == OpClass.INT_ALU

@@ -1,0 +1,72 @@
+"""Unit tests for Program label resolution and addressing."""
+
+import pytest
+
+from repro.common.errors import SimulationError, TraceError
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.program import DEFAULT_TEXT_BASE, Program
+
+
+class TestProgram:
+    def test_pc_addressing(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.NOP))
+        program.append(Instruction(Mnemonic.NOP))
+        assert program.pc_of(0) == DEFAULT_TEXT_BASE
+        assert program.pc_of(1) == DEFAULT_TEXT_BASE + 4
+        assert program.index_of_pc(program.pc_of(1)) == 1
+
+    def test_index_of_bad_pc(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.NOP))
+        with pytest.raises(SimulationError):
+            program.index_of_pc(DEFAULT_TEXT_BASE + 2)
+        with pytest.raises(SimulationError):
+            program.index_of_pc(DEFAULT_TEXT_BASE + 400)
+
+    def test_label_resolution(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.BA, target="end"))
+        program.append(Instruction(Mnemonic.NOP))
+        program.append(Instruction(Mnemonic.HALT, label="end"))
+        program.finalize()
+        assert program.instructions[0].target_index == 2
+        assert program.labels == {"end": 2}
+
+    def test_duplicate_label_rejected(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.NOP, label="x"))
+        program.append(Instruction(Mnemonic.NOP, label="x"))
+        with pytest.raises(TraceError):
+            program.finalize()
+
+    def test_undefined_target_rejected(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.BA, target="nowhere"))
+        with pytest.raises(TraceError):
+            program.finalize()
+
+    def test_finalize_idempotent(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.HALT, label="end"))
+        program.finalize()
+        program.finalize()
+
+    def test_append_after_finalize_rejected(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.HALT))
+        program.finalize()
+        with pytest.raises(SimulationError):
+            program.append(Instruction(Mnemonic.NOP))
+
+    def test_memory_alignment(self):
+        program = Program()
+        program.set_memory(0x1000, 5)
+        with pytest.raises(TraceError):
+            program.set_memory(0x1001, 5)
+
+    def test_listing(self):
+        program = Program()
+        program.append(Instruction(Mnemonic.MOV, rd=1, imm=2))
+        text = program.listing()
+        assert "mov" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the architected register model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa.registers import (
+    FCC,
+    FP_REG_BASE,
+    G0,
+    ICC,
+    RegisterFile,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_int_reg,
+    reg_name,
+)
+
+
+class TestFlatIds:
+    def test_int_mapping(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+
+    def test_fp_mapping(self):
+        assert fp_reg(0) == FP_REG_BASE
+        assert fp_reg(31) == FP_REG_BASE + 31
+
+    def test_ranges_disjoint(self):
+        ints = {int_reg(i) for i in range(32)}
+        fps = {fp_reg(i) for i in range(32)}
+        assert not ints & fps
+        assert ICC not in ints | fps
+        assert FCC not in ints | fps
+
+    def test_predicates(self):
+        assert is_int_reg(5)
+        assert not is_int_reg(FP_REG_BASE)
+        assert is_fp_reg(fp_reg(3))
+        assert not is_fp_reg(ICC)
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            int_reg(32)
+        with pytest.raises(SimulationError):
+            fp_reg(-1)
+
+    def test_names(self):
+        assert reg_name(0) == "%r0"
+        assert reg_name(fp_reg(4)) == "%f4"
+        assert reg_name(ICC) == "%icc"
+        assert reg_name(FCC) == "%fcc"
+        with pytest.raises(SimulationError):
+            reg_name(999)
+
+
+class TestRegisterFile:
+    def test_g0_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write_int(G0, 123)
+        assert regs.read_int(G0) == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write_int(5, 42)
+        assert regs.read_int(5) == 42
+
+    def test_64bit_wrap(self):
+        regs = RegisterFile()
+        regs.write_int(5, 1 << 64)
+        assert regs.read_int(5) == 0
+
+    def test_signed_read(self):
+        regs = RegisterFile()
+        regs.write_int(5, (1 << 64) - 1)
+        assert regs.read_int_signed(5) == -1
+
+    def test_fp(self):
+        regs = RegisterFile()
+        regs.write_fp(2, 3.5)
+        assert regs.read_fp(2) == 3.5
+
+    def test_icc(self):
+        regs = RegisterFile()
+        regs.set_icc(0)
+        assert regs.icc_zero and not regs.icc_negative
+        regs.set_icc(-5)
+        assert not regs.icc_zero and regs.icc_negative
+
+    def test_fcc(self):
+        regs = RegisterFile()
+        regs.set_fcc(1.0, 2.0)
+        assert regs.fcc_less and not regs.fcc_equal
+        regs.set_fcc(2.0, 2.0)
+        assert regs.fcc_equal and not regs.fcc_less
+
+    def test_snapshot(self):
+        regs = RegisterFile()
+        regs.write_int(9, 7)
+        snap = regs.snapshot()
+        assert snap["int"][9] == 7
+        regs.write_int(9, 8)
+        assert snap["int"][9] == 7  # snapshot is a copy

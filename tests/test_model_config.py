@@ -1,0 +1,126 @@
+"""Unit tests for machine configurations (Table 1 and study variants)."""
+
+import pytest
+
+from repro.common.units import ns_to_cycles
+from repro.model.config import (
+    OFF_CHIP_EXTRA_CYCLES,
+    base_config,
+    bht_4k_2w_1t,
+    issue_2way,
+    l1_32k_1w_3c,
+    l2_off_8m_1w,
+    l2_off_8m_2w,
+    one_rs,
+    prefetch_off,
+)
+from repro.core.params import RsOrganization
+
+
+class TestTable1:
+    """The base configuration must itemise exactly Table 1."""
+
+    def test_issue_width(self):
+        assert base_config().core.issue_width == 4
+
+    def test_window(self):
+        assert base_config().core.window_size == 64
+
+    def test_l1_caches(self):
+        config = base_config()
+        assert config.l1i.size_bytes == 128 * 1024 and config.l1i.ways == 2
+        assert config.l1d.size_bytes == 128 * 1024 and config.l1d.ways == 2
+
+    def test_l1d_banking(self):
+        config = base_config()
+        assert config.l1d.banks == 8
+        assert config.l1d.bank_bytes == 4
+
+    def test_l2(self):
+        config = base_config()
+        assert config.l2.size_bytes == 2 * 1024 * 1024
+        assert config.l2.ways == 4
+
+    def test_bht(self):
+        config = base_config()
+        assert config.bht.entries == 16 * 1024
+        assert config.bht.ways == 4
+        assert config.bht.access_latency == 2
+
+    def test_units(self):
+        core = base_config().core
+        assert core.int_units == 2
+        assert core.fp_units == 2
+        assert core.eag_units == 2
+
+    def test_reservation_stations(self):
+        core = base_config().core
+        assert core.rse_entries == 8 and core.rsf_entries == 8
+        assert core.rsa_entries == 10 and core.rsbr_entries == 10
+        assert core.rs_organization is RsOrganization.TWO_RS
+
+    def test_rename_registers(self):
+        core = base_config().core
+        assert core.int_rename == 32 and core.fp_rename == 32
+
+    def test_lsq(self):
+        core = base_config().core
+        assert core.load_queue == 16 and core.store_queue == 10
+
+    def test_fetch_width(self):
+        frontend = base_config().frontend
+        assert frontend.fetch_group_bytes == 32
+        assert frontend.fetch_width == 8
+
+    def test_table1_renders(self):
+        text = base_config().table1()
+        assert "SPARC-V9" in text
+        assert "4-way" in text
+        assert "64 instructions" in text
+        assert "16/10" in text
+
+
+class TestVariants:
+    def test_issue_2way(self):
+        config = issue_2way()
+        assert config.core.issue_width == 2
+
+    def test_bht_variant(self):
+        config = bht_4k_2w_1t()
+        assert config.bht.entries == 4 * 1024
+        assert config.bht.access_latency == 1
+
+    def test_l1_variant(self):
+        config = l1_32k_1w_3c()
+        assert config.l1i.size_bytes == 32 * 1024 and config.l1i.ways == 1
+        assert config.l1d.hit_latency == 3
+
+    def test_off_chip_penalty_is_10ns(self):
+        assert OFF_CHIP_EXTRA_CYCLES == ns_to_cycles(10.0) == 13
+        base = base_config()
+        off = l2_off_8m_2w()
+        assert off.l1_l2_bus.latency == base.l1_l2_bus.latency + 13
+
+    def test_off_chip_sizes(self):
+        assert l2_off_8m_2w().l2.size_bytes == 8 * 1024 * 1024
+        assert l2_off_8m_2w().l2.ways == 2
+        assert l2_off_8m_1w().l2.ways == 1
+
+    def test_off_chip_narrower_interface(self):
+        base = base_config()
+        off = l2_off_8m_2w()
+        assert off.l1_l2_bus.bytes_per_cycle < base.l1_l2_bus.bytes_per_cycle
+
+    def test_prefetch_off(self):
+        assert not prefetch_off().prefetch.enabled
+        assert base_config().prefetch.enabled
+
+    def test_one_rs(self):
+        assert one_rs().core.rs_organization is RsOrganization.ONE_RS
+
+    def test_variants_leave_base_untouched(self):
+        base = base_config()
+        issue_2way(base)
+        l1_32k_1w_3c(base)
+        assert base.core.issue_width == 4
+        assert base.l1i.size_bytes == 128 * 1024

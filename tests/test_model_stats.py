@@ -1,0 +1,51 @@
+"""Unit tests for SimResult aggregation helpers."""
+
+import pytest
+
+from repro.core.pipeline import CoreStats
+from repro.model.stats import SimResult, ipc_ratio
+
+
+def make_result(cycles=100, instructions=100, **kwargs):
+    return SimResult(
+        config_name="cfg",
+        trace_name="trace",
+        core=CoreStats(cycles=cycles, instructions=instructions),
+        **kwargs,
+    )
+
+
+class TestSimResult:
+    def test_ipc(self):
+        assert make_result(cycles=200, instructions=100).ipc == pytest.approx(0.5)
+
+    def test_miss_ratio_lookup(self):
+        result = make_result(
+            l1d={"demand_miss_ratio": 0.25, "total_miss_ratio": 0.5}
+        )
+        assert result.miss_ratio("l1d") == 0.25
+        assert result.miss_ratio("l1d", demand_only=False) == 0.5
+
+    def test_miss_ratio_missing_key(self):
+        assert make_result().miss_ratio("l2") == 0.0
+
+    def test_as_dict_keys(self):
+        data = make_result().as_dict()
+        for key in ("config", "trace", "ipc", "l1d_miss_ratio", "replays"):
+            assert key in data
+
+    def test_summary_contains_all(self):
+        text = make_result().summary()
+        assert "config" in text and "ipc" in text
+
+
+class TestIpcRatio:
+    def test_ratio(self):
+        fast = make_result(cycles=100, instructions=200)  # ipc 2
+        slow = make_result(cycles=200, instructions=200)  # ipc 1
+        assert ipc_ratio(fast, slow) == pytest.approx(2.0)
+
+    def test_zero_baseline(self):
+        fast = make_result()
+        zero = make_result(cycles=0, instructions=0)
+        assert ipc_ratio(fast, zero) == 0.0

@@ -1,0 +1,83 @@
+"""SMP behavioural tests: scaling and bus contention."""
+
+import pytest
+
+from repro.frontend.bht import BhtParams
+from repro.memory.params import (
+    BusParams,
+    CacheGeometry,
+    MemoryParams,
+    PrefetchParams,
+    TlbGeometry,
+)
+from repro.model.config import MachineConfig
+from repro.smp.system import run_smp
+from repro.trace.synth import build_smp_generators, standard_profiles
+
+
+def small_smp_config(bus_bytes_per_cycle=8):
+    return MachineConfig(
+        name=f"smp-{bus_bytes_per_cycle}",
+        l1i=CacheGeometry("L1I", 8 * 1024, 2, hit_latency=3, mshr_count=4),
+        l1d=CacheGeometry("L1D", 8 * 1024, 2, hit_latency=4, mshr_count=4,
+                          banks=8, bank_bytes=4),
+        l2=CacheGeometry("L2", 64 * 1024, 4, hit_latency=12, mshr_count=8),
+        itlb=TlbGeometry("ITLB", entries=16, ways=4, miss_penalty=20),
+        dtlb=TlbGeometry("DTLB", entries=16, ways=4, miss_penalty=20),
+        l1_l2_bus=BusParams("l1l2", latency=2, bytes_per_cycle=32),
+        system_bus=BusParams("sys", latency=10,
+                             bytes_per_cycle=bus_bytes_per_cycle),
+        memory=MemoryParams(latency=60, channels=2, channel_occupancy=8),
+        prefetch=PrefetchParams(streams=8),
+        bht=BhtParams("bht", entries=256, ways=4, access_latency=2),
+    )
+
+
+def run_point(cpus, config, timed=2500, warm=4000, seed=11):
+    generators = build_smp_generators(
+        standard_profiles()["TPC-C"], cpus, seed=seed
+    )
+    traces = [generator.generate(warm + timed) for generator in generators]
+    regions = [generator.memory_regions() for generator in generators]
+    return run_smp(
+        config, traces, warmup_fraction=warm / (warm + timed),
+        regions_per_cpu=regions,
+    )
+
+
+class TestScaling:
+    def test_throughput_grows_with_cpus(self):
+        config = small_smp_config()
+        one = run_point(1, config)
+        four = run_point(4, config)
+        assert four.ipc > one.ipc
+        assert four.total_instructions == 4 * one.total_instructions
+
+    def test_scaling_is_sublinear(self):
+        """Shared bus and memory make 4P less than 4x 1P."""
+        config = small_smp_config()
+        one = run_point(1, config)
+        four = run_point(4, config)
+        assert four.ipc < 4.2 * one.ipc
+
+    def test_bus_utilization_grows(self):
+        config = small_smp_config()
+        one = run_point(1, config)
+        four = run_point(4, config)
+        assert four.system_bus_utilization >= one.system_bus_utilization
+
+    def test_narrow_bus_hurts_smp(self):
+        wide = run_point(4, small_smp_config(bus_bytes_per_cycle=32))
+        narrow = run_point(4, small_smp_config(bus_bytes_per_cycle=2))
+        assert narrow.ipc <= wide.ipc
+
+    def test_coherence_traffic_scales(self):
+        config = small_smp_config()
+        two = run_point(2, config)
+        four = run_point(4, config)
+        def traffic(result):
+            c = result.coherence
+            return c["cache_to_cache"] + c["invalidations_sent"] + c["upgrades"]
+        # More CPUs sharing the same region -> at least as much coherence
+        # activity in aggregate.
+        assert traffic(four) >= traffic(two)

@@ -1,0 +1,95 @@
+"""Unit tests for the static code image builder."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.trace.synth.code import (
+    BranchBehavior,
+    TerminalKind,
+    build_code_image,
+)
+from repro.trace.synth.profiles import SPEC_INT_95
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_code_image(SPEC_INT_95, DeterministicRng(42), 500)
+
+
+class TestLayout:
+    def test_block_count(self, image):
+        assert len(image) == 500
+
+    def test_contiguous_addresses(self, image):
+        for prev, cur in zip(image.blocks, image.blocks[1:]):
+            assert cur.start_pc == prev.end_pc
+
+    def test_footprint(self, image):
+        total = sum(block.length for block in image.blocks)
+        assert image.footprint_bytes == total * 4
+
+    def test_terminal_blocks_have_body(self, image):
+        for block in image.blocks:
+            if block.terminal is not TerminalKind.NONE:
+                assert block.length >= 2
+                assert block.body_length == block.length - 1
+            else:
+                assert block.body_length == block.length
+
+    def test_last_block_never_falls_off(self, image):
+        assert image.blocks[-1].terminal is not TerminalKind.NONE
+
+    def test_function_entries_exist(self, image):
+        assert image.function_entries
+        for index in image.function_entries:
+            assert image.blocks[index].is_function_entry
+
+
+class TestBranches:
+    def test_loop_targets_backward(self, image):
+        loops = [
+            block
+            for block in image.blocks
+            if block.behavior is BranchBehavior.LOOP
+        ]
+        assert loops
+        for block in loops:
+            assert block.target_block is not None
+            assert block.target_block <= block.index
+            assert block.loop_trip >= 1
+
+    def test_loop_spans_not_trivial(self, image):
+        for block in image.blocks:
+            if block.behavior is BranchBehavior.LOOP and block.index > 8:
+                span = sum(
+                    image.blocks[i].length
+                    for i in range(block.target_block, block.index + 1)
+                )
+                assert span >= 11  # near the 12-instruction floor
+
+    def test_non_loop_targets_dynamic(self, image):
+        for block in image.blocks:
+            if block.terminal is TerminalKind.COND and block.behavior in (
+                BranchBehavior.BIASED_TAKEN,
+                BranchBehavior.BIASED_NOT,
+                BranchBehavior.RANDOM,
+            ):
+                assert block.target_block is None
+
+    def test_behavior_assigned_to_all_cond(self, image):
+        for block in image.blocks:
+            if block.terminal is TerminalKind.COND:
+                assert block.behavior is not None
+
+    def test_determinism(self):
+        a = build_code_image(SPEC_INT_95, DeterministicRng(7), 100)
+        b = build_code_image(SPEC_INT_95, DeterministicRng(7), 100)
+        assert [blk.length for blk in a.blocks] == [blk.length for blk in b.blocks]
+        assert [blk.terminal for blk in a.blocks] == [blk.terminal for blk in b.blocks]
+
+
+class TestErrors:
+    def test_too_few_blocks(self):
+        with pytest.raises(ConfigError):
+            build_code_image(SPEC_INT_95, DeterministicRng(1), 1)

@@ -1,0 +1,95 @@
+"""Unit tests for workload profile definitions."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.synth.profiles import (
+    SPEC_FP_95,
+    SPEC_INT_95,
+    TPCC,
+    BranchMix,
+    DataMix,
+    WorkloadProfile,
+    profile_by_name,
+    standard_profiles,
+)
+
+
+class TestPresets:
+    def test_five_presets(self):
+        assert set(standard_profiles()) == {
+            "SPECint95",
+            "SPECfp95",
+            "SPECint2000",
+            "SPECfp2000",
+            "TPC-C",
+        }
+
+    def test_all_validate(self):
+        for profile in standard_profiles().values():
+            profile.validate()
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("TPC-C").name == "TPC-C"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            profile_by_name("SPECweb99")
+
+    def test_tpcc_is_kernel_heavy(self):
+        assert TPCC.kernel_fraction > 0.2
+        assert TPCC.kernel_block_count > 0
+
+    def test_fp_profiles_have_fp(self):
+        assert SPEC_FP_95.fp_fraction > 0.2
+        assert SPEC_INT_95.fp_fraction == 0.0
+
+    def test_tpcc_biggest_code(self):
+        profiles = standard_profiles()
+        assert profiles["TPC-C"].block_count == max(
+            p.block_count for p in profiles.values()
+        )
+
+    def test_fp_predictable_branches(self):
+        assert (
+            SPEC_FP_95.branch_mix.random_fraction
+            <= SPEC_INT_95.branch_mix.random_fraction
+        )
+        # FP loops run far longer than integer loops (loop-dominated code).
+        assert SPEC_FP_95.branch_mix.loop_trip_mean > SPEC_INT_95.branch_mix.loop_trip_mean
+
+
+class TestValidation:
+    def test_branch_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            BranchMix(loop_fraction=0.5, biased_fraction=0.5, random_fraction=0.5).validate()
+
+    def test_bias_range(self):
+        with pytest.raises(ConfigError):
+            BranchMix(bias=0.3).validate()
+
+    def test_data_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            DataMix(hot_fraction=0.9, stride_fraction=0.9,
+                    chain_fraction=0.0, random_fraction=0.0).validate()
+
+    def test_body_fractions_bounded(self):
+        profile = SPEC_INT_95.derived(load_fraction=0.9, store_fraction=0.2)
+        with pytest.raises(ConfigError):
+            profile.validate()
+
+    def test_kernel_fraction_needs_blocks(self):
+        profile = SPEC_INT_95.derived(kernel_fraction=0.3, kernel_block_count=0)
+        with pytest.raises(ConfigError):
+            profile.validate()
+
+    def test_derived_changes_field(self):
+        profile = SPEC_INT_95.derived(block_count=99)
+        assert profile.block_count == 99
+        assert SPEC_INT_95.block_count != 99
+
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SPEC_INT_95.block_count = 1

@@ -1,0 +1,80 @@
+"""Unit tests for trace file formats."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.io import read_trace, write_trace
+from repro.trace.record import TraceRecord, make_branch, make_load, make_store
+from repro.trace.stream import Trace
+from repro.isa.opcodes import OpClass
+
+
+@pytest.fixture
+def sample_trace():
+    records = [
+        make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9000),
+        TraceRecord(0x1004, OpClass.INT_ALU, dest=9, srcs=(8,)),
+        make_store(0x1008, srcs=(1, 9), ea=0x9008),
+        make_branch(0x100C, taken=True, target=0x1000),
+        TraceRecord(0x1000, OpClass.SPECIAL, privileged=True),
+    ]
+    return Trace(records, name="sample", cpu=3)
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".trc"])
+class TestRoundTrip:
+    def test_records_identical(self, tmp_path, sample_trace, suffix):
+        path = tmp_path / f"trace{suffix}"
+        write_trace(sample_trace, path)
+        loaded = read_trace(path)
+        assert loaded.records == sample_trace.records
+
+    def test_metadata_preserved(self, tmp_path, sample_trace, suffix):
+        path = tmp_path / f"trace{suffix}"
+        write_trace(sample_trace, path)
+        loaded = read_trace(path)
+        assert loaded.name == "sample"
+        assert loaded.cpu == 3
+
+    def test_empty_trace(self, tmp_path, sample_trace, suffix):
+        path = tmp_path / f"empty{suffix}"
+        write_trace(Trace([], name="empty"), path)
+        assert len(read_trace(path)) == 0
+
+
+class TestErrors:
+    def test_unknown_suffix(self, tmp_path, sample_trace):
+        with pytest.raises(TraceError):
+            write_trace(sample_trace, tmp_path / "trace.bin")
+        with pytest.raises(TraceError):
+            read_trace(tmp_path / "trace.xyz")
+
+    def test_empty_jsonl_file(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_bad_binary_magic(self, tmp_path):
+        path = tmp_path / "x.trc"
+        path.write_bytes(b"NOPE1234")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_malformed_jsonl_record(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"header": {"name": "x", "cpu": 0, "count": 1}}\n{"nope": 1}\n')
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+
+class TestBinaryCompactness:
+    def test_binary_smaller_than_jsonl(self, tmp_path):
+        records = [make_load(0x1000 + 4 * i, dest=8, addr_srcs=(1,), ea=0x9000 + 8 * i)
+                   for i in range(500)]
+        trace = Trace(records, name="big")
+        jsonl = tmp_path / "t.jsonl"
+        binary = tmp_path / "t.trc"
+        write_trace(trace, jsonl)
+        write_trace(trace, binary)
+        assert binary.stat().st_size < jsonl.stat().st_size / 2

@@ -1,0 +1,78 @@
+"""Unit tests for TraceRecord semantics."""
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import ICC
+from repro.trace.record import (
+    NO_ADDR,
+    NO_REG,
+    TraceRecord,
+    make_alu,
+    make_branch,
+    make_load,
+    make_store,
+)
+
+
+class TestPredicates:
+    def test_load(self):
+        record = make_load(0x100, dest=8, addr_srcs=(1,), ea=0x2000)
+        assert record.is_load and record.is_memory and not record.is_store
+        assert not record.is_branch
+
+    def test_store(self):
+        record = make_store(0x100, srcs=(1, 9), ea=0x2000)
+        assert record.is_store and record.is_memory
+        assert record.dest == NO_REG
+
+    def test_branch_kinds(self):
+        cond = make_branch(0x100, taken=True, target=0x200)
+        assert cond.is_branch and cond.is_conditional_branch
+        uncond = make_branch(0x100, taken=True, target=0x200, conditional=False)
+        assert uncond.is_branch and not uncond.is_conditional_branch
+        call = TraceRecord(0x100, OpClass.CALL, taken=True, target=0x200)
+        ret = TraceRecord(0x100, OpClass.RETURN, taken=True, target=0x200)
+        assert call.is_branch and ret.is_branch
+
+    def test_alu(self):
+        record = make_alu(0x100, dest=8, srcs=(1, 2))
+        assert not record.is_branch and not record.is_memory
+
+
+class TestNextPc:
+    def test_sequential(self):
+        record = make_alu(0x100, dest=8, srcs=())
+        assert record.next_pc() == 0x104
+        assert record.fall_through() == 0x104
+
+    def test_taken_branch(self):
+        record = make_branch(0x100, taken=True, target=0x500)
+        assert record.next_pc() == 0x500
+
+    def test_not_taken_branch(self):
+        record = make_branch(0x100, taken=False, target=0x500)
+        assert record.next_pc() == 0x104
+
+
+class TestEquality:
+    def test_equal_records(self):
+        a = make_load(0x100, dest=8, addr_srcs=(1,), ea=0x2000)
+        b = make_load(0x100, dest=8, addr_srcs=(1,), ea=0x2000)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_records(self):
+        a = make_load(0x100, dest=8, addr_srcs=(1,), ea=0x2000)
+        b = make_load(0x100, dest=8, addr_srcs=(1,), ea=0x2008)
+        assert a != b
+
+    def test_repr_variants(self):
+        assert "ea=" in repr(make_load(0x100, dest=8, addr_srcs=(1,), ea=0x2000))
+        assert "taken=" in repr(make_branch(0x100, taken=True, target=0x200))
+        priv = TraceRecord(0x100, OpClass.INT_ALU, privileged=True)
+        assert "priv" in repr(priv)
+
+    def test_defaults(self):
+        record = TraceRecord(0x100, OpClass.NOP)
+        assert record.dest == NO_REG
+        assert record.ea == NO_ADDR
+        assert record.srcs == ()

@@ -1,0 +1,57 @@
+"""Unit tests for systematic trace sampling."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.record import make_alu
+from repro.trace.sampling import merge_window_ipc, sample_trace
+from repro.trace.stream import Trace
+
+
+def make_trace(count):
+    return Trace([make_alu(0x1000 + 4 * i, dest=8, srcs=()) for i in range(count)])
+
+
+class TestSampleTrace:
+    def test_window_count(self):
+        windows = sample_trace(make_trace(100), period=40, sample_length=10)
+        assert len(windows) == 3  # starts at 0, 40, 80
+
+    def test_window_contents_contiguous(self):
+        windows = sample_trace(make_trace(100), period=40, sample_length=10)
+        first = windows[1]
+        assert first[0].pc == 0x1000 + 4 * 40
+        first.validate()
+
+    def test_window_names_unique(self):
+        windows = sample_trace(make_trace(100), period=30, sample_length=5)
+        names = [window.name for window in windows]
+        assert len(set(names)) == len(names)
+
+    def test_invalid_params(self):
+        with pytest.raises(TraceError):
+            sample_trace(make_trace(10), period=0, sample_length=1)
+        with pytest.raises(TraceError):
+            sample_trace(make_trace(10), period=5, sample_length=6)
+
+    def test_short_trace_no_windows(self):
+        assert sample_trace(make_trace(5), period=100, sample_length=10) == []
+
+
+class TestMergeIpc:
+    def test_weighted_by_cycles(self):
+        # window A: 100 insts / 100 cycles; window B: 100 insts / 300 cycles
+        # aggregate = 200/400 = 0.5, not mean(1.0, 0.33)
+        assert merge_window_ipc([100, 100], [100, 300]) == pytest.approx(0.5)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(TraceError):
+            merge_window_ipc([1], [1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            merge_window_ipc([], [])
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(TraceError):
+            merge_window_ipc([5], [0])

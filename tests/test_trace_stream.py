@@ -1,0 +1,110 @@
+"""Unit tests for Trace container, validation, and statistics."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord, make_alu, make_branch, make_load
+from repro.trace.stream import Trace
+
+
+def sequential_records(count, base=0x1000):
+    return [make_alu(base + 4 * i, dest=8, srcs=(1,)) for i in range(count)]
+
+
+class TestContainer:
+    def test_len_iter_index(self):
+        trace = Trace(sequential_records(5))
+        assert len(trace) == 5
+        assert list(trace)[0].pc == 0x1000
+        assert trace[2].pc == 0x1008
+
+    def test_slice_returns_trace(self):
+        trace = Trace(sequential_records(10), name="t")
+        sliced = trace[2:5]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 3
+
+    def test_head(self):
+        trace = Trace(sequential_records(10))
+        assert len(trace.head(4)) == 4
+
+    def test_append_extend(self):
+        trace = Trace()
+        trace.append(make_alu(0x1000, dest=8, srcs=()))
+        trace.extend(sequential_records(2, base=0x1004))
+        assert len(trace) == 3
+
+
+class TestValidation:
+    def test_valid_sequential(self):
+        Trace(sequential_records(20)).validate()
+
+    def test_valid_with_taken_branch(self):
+        records = [
+            make_alu(0x1000, dest=8, srcs=()),
+            make_branch(0x1004, taken=True, target=0x2000),
+            make_alu(0x2000, dest=8, srcs=()),
+        ]
+        Trace(records).validate()
+
+    def test_control_flow_break_rejected(self):
+        records = [
+            make_alu(0x1000, dest=8, srcs=()),
+            make_alu(0x2000, dest=8, srcs=()),
+        ]
+        with pytest.raises(TraceError):
+            Trace(records).validate()
+
+    def test_memory_without_address_rejected(self):
+        record = TraceRecord(0x1000, OpClass.LOAD, dest=8)
+        with pytest.raises(TraceError):
+            Trace([record]).validate()
+
+    def test_taken_branch_without_target_rejected(self):
+        record = TraceRecord(0x1000, OpClass.BRANCH_COND, taken=True)
+        with pytest.raises(TraceError):
+            Trace([record]).validate()
+
+
+class TestStats:
+    def test_mix_fractions(self):
+        records = [
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9000),
+            make_alu(0x1004, dest=9, srcs=(8,)),
+            make_branch(0x1008, taken=True, target=0x1000),
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9040),
+        ]
+        stats = Trace(records).stats()
+        assert stats.instruction_count == 4
+        assert stats.load_fraction == pytest.approx(0.5)
+        assert stats.branch_fraction == pytest.approx(0.25)
+        assert stats.taken_branch_fraction == pytest.approx(1.0)
+
+    def test_footprints(self):
+        records = [
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9000),
+            make_load(0x1004, dest=8, addr_srcs=(1,), ea=0x9040),
+        ]
+        stats = Trace(records).stats(line_bytes=64)
+        assert stats.unique_data_lines == 2
+        assert stats.unique_code_lines == 1
+        assert stats.data_footprint_bytes == 128
+
+    def test_privileged_fraction(self):
+        records = [
+            TraceRecord(0x1000, OpClass.INT_ALU, privileged=True),
+            TraceRecord(0x1004, OpClass.INT_ALU),
+        ]
+        assert Trace(records).stats().privileged_fraction == pytest.approx(0.5)
+
+    def test_empty_trace_stats(self):
+        stats = Trace([]).stats()
+        assert stats.instruction_count == 0
+        assert stats.load_fraction == 0.0
+
+    def test_as_dict(self):
+        stats = Trace(sequential_records(4)).stats()
+        data = stats.as_dict()
+        assert data["instruction_count"] == 4
+        assert "op_counts" in data

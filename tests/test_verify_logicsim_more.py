@@ -1,0 +1,59 @@
+"""Extra verification-path tests: determinism and divergence detection."""
+
+import pytest
+
+from repro.common.errors import VerificationError
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.isa.program import Program
+from repro.model.config import base_config, l1_32k_1w_3c
+from repro.verify import LogicSimulator, cross_check
+
+
+def counted_loop_program(iterations=50, body=6):
+    """A self-terminating counted loop exercising compare/branch/memory."""
+    program = Program(name="loop")
+    program.append(Instruction(Mnemonic.MOV, rd=1, imm=iterations))
+    program.append(Instruction(Mnemonic.MOV, rd=2, imm=0))
+    program.append(Instruction(Mnemonic.ADD, rd=2, rs1=2, imm=1, label="top"))
+    for i in range(body):
+        program.append(Instruction(Mnemonic.ADD, rd=8 + i % 4, rs1=2, imm=i))
+    program.append(Instruction(Mnemonic.STX, rd=2, rs1=0, imm=0x4000))
+    program.append(Instruction(Mnemonic.LDX, rd=9, rs1=0, imm=0x4000))
+    program.append(Instruction(Mnemonic.SUBCC, rd=0, rs1=2, rs2=1))
+    program.append(Instruction(Mnemonic.BNE, target="top"))
+    program.append(Instruction(Mnemonic.HALT))
+    return program
+
+
+class TestLogicSimulator:
+    def test_counted_loop_halts(self):
+        result = LogicSimulator().run(counted_loop_program())
+        assert result.halted
+        assert result.instructions > 0
+        assert result.cycles > result.instructions / 4  # IPC <= 4
+
+    def test_deterministic(self):
+        program = counted_loop_program()
+        a = LogicSimulator().run(program)
+        b = LogicSimulator().run(program)
+        assert a.cycles == b.cycles
+
+    def test_config_sensitivity(self):
+        """Different machine configs time the same program differently."""
+        program = counted_loop_program(iterations=200)
+        fast = LogicSimulator(base_config()).run(program)
+        small = LogicSimulator(l1_32k_1w_3c()).run(program)
+        assert fast.instructions == small.instructions
+        # Timing may legitimately differ; at minimum both complete.
+        assert fast.cycles > 0 and small.cycles > 0
+
+    def test_cross_check_loop(self):
+        result = cross_check(counted_loop_program())
+        assert result.halted
+
+    def test_cross_check_different_configs_differ(self):
+        """Cross-check passes per config even though configs disagree."""
+        program = counted_loop_program(iterations=100)
+        a = cross_check(program, config=base_config())
+        b = cross_check(program, config=l1_32k_1w_3c())
+        assert a.instructions == b.instructions

@@ -1,0 +1,95 @@
+"""Extra Reverse-Tracer coverage: memory sites, FP, multi-workload."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord, make_alu, make_load, make_store
+from repro.trace.stream import Trace
+from repro.trace.synth import generate_trace, standard_profiles
+from repro.verify import ReverseTracer
+from repro.trace.compare import compare_traces
+
+
+class TestMemoryReplay:
+    def test_load_site_replays_address(self):
+        records = [
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9010),
+            make_alu(0x1004, dest=9, srcs=(8,)),
+        ] * 1
+        program, fidelity = ReverseTracer().generate(Trace(records))
+        result = FunctionalExecutor(max_steps=50, halt_on_limit=True).run(program)
+        load_records = [r for r in result.records if r.is_load]
+        assert load_records
+        assert load_records[0].ea == 0x9010
+        assert fidelity.memory_sites == 1
+        assert fidelity.constant_address_sites == 1
+
+    def test_store_site_replays(self):
+        records = [make_store(0x1000, srcs=(1, 9), ea=0x9020)]
+        program, _ = ReverseTracer().generate(Trace(records))
+        result = FunctionalExecutor(max_steps=50, halt_on_limit=True).run(program)
+        stores = [r for r in result.records if r.is_store]
+        assert stores and stores[0].ea == 0x9020
+
+    def test_fp_load_uses_fp_register(self):
+        from repro.isa.registers import fp_reg
+
+        records = [
+            TraceRecord(0x1000, OpClass.LOAD, dest=fp_reg(4), srcs=(1,),
+                        ea=0x9030, size=8),
+        ]
+        program, _ = ReverseTracer().generate(Trace(records))
+        result = FunctionalExecutor(max_steps=50, halt_on_limit=True).run(program)
+        loads = [r for r in result.records if r.is_load]
+        assert loads and loads[0].dest == fp_reg(4)
+
+    def test_varying_addresses_counted(self):
+        records = [
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9000),
+            make_alu(0x1004, dest=9, srcs=(8,)),
+        ]
+        records += [
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9100),
+            make_alu(0x1004, dest=9, srcs=(8,)),
+        ]
+        # Stitch control flow: second visit needs a branch back.
+        records = [
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9000),
+            TraceRecord(0x1004, OpClass.BRANCH_UNCOND, taken=True, target=0x1000),
+            make_load(0x1000, dest=8, addr_srcs=(1,), ea=0x9100),
+            TraceRecord(0x1004, OpClass.BRANCH_UNCOND, taken=True, target=0x1000),
+        ]
+        program, fidelity = ReverseTracer().generate(Trace(records))
+        assert fidelity.memory_sites == 1
+        assert fidelity.constant_address_sites == 0  # address varied
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            ReverseTracer().generate(Trace([]))
+
+
+class TestWorkloadReplays:
+    @pytest.mark.parametrize("name", ["SPECfp95", "TPC-C"])
+    def test_replay_similarity(self, name):
+        trace = generate_trace(standard_profiles()[name], 2000, seed=3)
+        program, fidelity = ReverseTracer().generate(trace)
+        executor = FunctionalExecutor(max_steps=2000, halt_on_limit=True)
+        replay = Trace(executor.run(program).records)
+        comparison = compare_traces(trace, replay)
+        # Not record-exact (documented approximations), but the replay
+        # must be the same *kind* of program.
+        assert comparison.mix_distance < 0.5
+        assert fidelity.branch_exact_fraction > 0.6
+
+    def test_program_deterministic(self):
+        trace = generate_trace(standard_profiles()["SPECint95"], 1500, seed=4)
+        a, _ = ReverseTracer().generate(trace)
+        b, _ = ReverseTracer().generate(trace)
+        assert [str(x) for x in a.instructions] == [str(x) for x in b.instructions]
+
+    def test_loop_counter_budget_respected(self):
+        trace = generate_trace(standard_profiles()["SPECint95"], 4000, seed=5)
+        program, fidelity = ReverseTracer(max_loop_counters=3).generate(trace)
+        assert fidelity.loop_sites_with_counters <= 3

@@ -1,0 +1,26 @@
+"""Offline BHT evaluation on a trace's branch-outcome stream."""
+import sys
+from repro.frontend.bht import BranchHistoryTable, BHT_16K_4W_2T, BHT_4K_2W_1T
+from repro.isa.opcodes import OpClass
+from repro.analysis.workloads import workload_by_name
+
+
+def evaluate(trace, warm_count):
+    big = BranchHistoryTable(BHT_16K_4W_2T)
+    small = BranchHistoryTable(BHT_4K_2W_1T)
+    for i, r in enumerate(trace.records):
+        if r.op != OpClass.BRANCH_COND:
+            continue
+        for t in (big, small):
+            pred = t.predict(r.pc)
+            t.update(r.pc, r.taken, pred)
+        if i == warm_count:
+            big.stats.__init__()
+            small.stats.__init__()
+    return big.stats.misprediction_ratio, small.stats.misprediction_ratio
+
+
+if __name__ == "__main__":
+    w = workload_by_name(sys.argv[1] if len(sys.argv) > 1 else "TPC-C")
+    b, s = evaluate(w.trace(), w.warm_instructions)
+    print(f"{w.name}: 16k={b:.4f} 4k={s:.4f} increase={(s-b)/b*100:.0f}%")

@@ -1,0 +1,59 @@
+"""Calibration dashboard: per-profile model metrics vs paper targets.
+
+Run:  python tools/calibrate.py [names...]
+"""
+import sys
+import time
+
+from repro.model import base_config, PerformanceModel
+from repro.trace.synth import TraceGenerator, standard_profiles
+
+TIMED = 25_000
+WARM = 100_000
+
+# Bands derived from the paper's Figure 7 stall shares and era-typical
+# absolute rates: SPECint95 ~30% branch stalls at CPI ~0.8-1 implies
+# bp ~0.10-0.14; SPECfp95 74% core time implies IPC ~0.6-0.8 with tiny
+# branch and moderate L1D (strided) misses; TPC-C 35% sx stalls at
+# CPI ~3-5 implies a memory-going rate ~0.2% of instructions.
+TARGETS = {
+    "SPECint95":   dict(ipc=(0.9, 1.8), l1i=(0.0, 0.01), l1d=(0.01, 0.06), l2=(0.0, 0.15), bp=(0.06, 0.14)),
+    "SPECfp95":    dict(ipc=(0.55, 1.8), l1i=(0.0, 0.01), l1d=(0.04, 0.20), l2=(0.02, 0.5), bp=(0.01, 0.05)),
+    "SPECint2000": dict(ipc=(0.9, 1.8), l1i=(0.0, 0.02), l1d=(0.01, 0.08), l2=(0.0, 0.2), bp=(0.06, 0.13)),
+    "SPECfp2000":  dict(ipc=(0.45, 1.8), l1i=(0.0, 0.01), l1d=(0.04, 0.20), l2=(0.02, 0.5), bp=(0.01, 0.05)),
+    "TPC-C":       dict(ipc=(0.2, 0.7), l1i=(0.01, 0.08), l1d=(0.02, 0.12), l2=(0.1, 0.55), bp=(0.05, 0.16)),
+}
+
+
+def flag(value, lo, hi):
+    return " " if lo <= value <= hi else "*"
+
+
+def main(names):
+    profiles = standard_profiles()
+    if not names:
+        names = list(profiles)
+    for name in names:
+        prof = profiles[name]
+        t0 = time.time()
+        gen = TraceGenerator(prof, seed=42)
+        trace = gen.generate(WARM + TIMED)
+        res = PerformanceModel(base_config()).run(
+            trace, warmup_fraction=WARM / (WARM + TIMED), regions=gen.memory_regions()
+        )
+        t = TARGETS[name]
+        vals = dict(
+            ipc=res.ipc,
+            l1i=res.miss_ratio("l1i"),
+            l1d=res.miss_ratio("l1d"),
+            l2=res.miss_ratio("l2"),
+            bp=res.bht_misprediction_ratio,
+        )
+        marks = "".join(
+            f"{key}={vals[key]:.4f}{flag(vals[key], *t[key])} " for key in vals
+        )
+        print(f"{name:12s} {marks} [{time.time() - t0:.0f}s]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
