@@ -10,11 +10,18 @@ import os
 
 import pytest
 
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.runner import ParallelRunner
 from repro.analysis.workloads import standard_workloads
 
 #: Scale factor for trace lengths (REPRO_BENCH_SCALE env var).
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Worker processes for independent runs (REPRO_BENCH_JOBS env var).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Persistent result cache directory; empty/unset disables caching so
+#: benchmarks measure real simulation time by default.
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", "")
 
 #: Untimed warm-up prefix per workload.
 WARM = int(100_000 * SCALE)
@@ -35,8 +42,18 @@ def workloads():
 
 @pytest.fixture(scope="session")
 def runner():
-    """Session-wide result cache shared by every figure."""
-    return ExperimentRunner(verbose=True)
+    """Session-wide result cache shared by every figure.
+
+    Set ``REPRO_BENCH_JOBS=N`` to fan independent runs over N worker
+    processes and ``REPRO_BENCH_CACHE=dir`` to persist results across
+    benchmark sessions.
+    """
+    return ParallelRunner(
+        jobs=JOBS,
+        verbose=True,
+        cache_dir=CACHE_DIR or None,
+        use_cache=bool(CACHE_DIR),
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

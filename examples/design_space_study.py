@@ -8,12 +8,14 @@ prints the decision the paper drew from each.
 
 Run:  python examples/design_space_study.py          (full, ~2-4 min)
       python examples/design_space_study.py --quick  (reduced traces)
+      python examples/design_space_study.py --jobs 4 (parallel workers;
+            results persist in .repro_cache/, so reruns are near-instant)
 """
 
 import sys
 
 from repro.analysis import (
-    ExperimentRunner,
+    ParallelRunner,
     fig08_issue_width,
     fig09_10_bht,
     fig11_12_13_l1,
@@ -24,9 +26,12 @@ from repro.analysis import (
 
 def main() -> None:
     quick = "--quick" in sys.argv
+    jobs = 1
+    if "--jobs" in sys.argv:
+        jobs = int(sys.argv[sys.argv.index("--jobs") + 1])
     warm, timed = (30_000, 8_000) if quick else (100_000, 25_000)
     workloads = standard_workloads(warm=warm, timed=timed)
-    runner = ExperimentRunner(verbose=True)
+    runner = ParallelRunner(jobs=jobs, verbose=True)
 
     print("Replaying the paper's §4 design studies "
           f"({'quick' if quick else 'full'} scale)...\n")
@@ -50,6 +55,7 @@ def main() -> None:
     print(prefetch.format_table())
     print("Paper decision: keep the L2 hardware prefetcher — it compensates"
           " for the 2MB on-chip L2, and SPECfp gains >13% (§4.3.5).")
+    print(f"\nrunner: {runner.summary()}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,8 @@ from repro.analysis.workloads import (
     tpcc_workload,
     workload_by_name,
 )
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.cache import ResultCache
+from repro.analysis.runner import ExperimentRunner, ParallelRunner
 from repro.analysis.figures import (
     fig07_characteristics,
     fig08_issue_width,
@@ -39,6 +40,8 @@ __all__ = [
     "standard_workloads",
     "workload_by_name",
     "ExperimentRunner",
+    "ParallelRunner",
+    "ResultCache",
     "fig07_characteristics",
     "fig08_issue_width",
     "fig09_10_bht",

@@ -1,0 +1,173 @@
+"""Persistent on-disk experiment-result cache.
+
+Every figure and sweep funnels through the same handful of
+(configuration, workload[, cpu count]) simulations, and those results
+only change when the simulator itself does.  :class:`ResultCache`
+memoises them as JSON files under ``.repro_cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable), keyed by
+
+- a content hash of the :class:`~repro.model.config.MachineConfig`
+  (every parameter, not just the display name),
+- the workload's :meth:`~repro.analysis.workloads.Workload.cache_key`,
+- the CPU count (SMP runs),
+- and a digest of the ``repro`` source tree, so editing the simulator
+  invalidates all previously cached results automatically.
+
+Corrupt or truncated entries — an interrupted write, a stray editor —
+are detected on load, deleted, and reported as misses; callers then fall
+back to a fresh run.  Writes go through a temporary file and
+``os.replace`` so a crash mid-write never leaves a half-entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.hashing import code_version
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+#: Envelope format version; bump when the payload layout changes.
+CACHE_FORMAT = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+        }
+
+
+class ResultCache:
+    """JSON-file result cache keyed by config + workload + code version."""
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        code_hash: Optional[str] = None,
+    ) -> None:
+        self.directory = Path(
+            directory
+            or os.environ.get("REPRO_CACHE_DIR")
+            or DEFAULT_CACHE_DIR
+        )
+        self.code_hash = code_hash or code_version()
+        self.stats = CacheStats()
+
+    # -- keys ------------------------------------------------------------
+
+    def key(
+        self,
+        kind: str,
+        config_hash: str,
+        workload_key: str,
+        cpu_count: Optional[int] = None,
+    ) -> str:
+        """Digest naming one cached run."""
+        material = "\x1f".join(
+            (kind, config_hash, workload_key, str(cpu_count), self.code_hash)
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- load / store ----------------------------------------------------
+
+    def load(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or None on miss/corruption."""
+        path = self.path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("cache envelope is not an object")
+            if envelope.get("format") != CACHE_FORMAT:
+                raise ValueError("cache format mismatch")
+            if envelope.get("code") != self.code_hash:
+                raise ValueError("stale code version")
+            payload = envelope["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload is not an object")
+        except (ValueError, KeyError, TypeError):
+            # Corrupt, truncated, or stale: remove and treat as a miss.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict, meta: Optional[dict] = None) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "format": CACHE_FORMAT,
+            "code": self.code_hash,
+            "meta": meta or {},
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp_name, self.path(key))
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- maintenance -----------------------------------------------------
+
+    def entries(self) -> int:
+        """Number of cache files currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        """Total bytes occupied by cache files."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

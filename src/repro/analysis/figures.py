@@ -33,7 +33,11 @@ from repro.model.config import (
     one_rs,
     prefetch_off,
 )
-from repro.model.perfect import StallBreakdown, stall_breakdown
+from repro.model.perfect import (
+    StallBreakdown,
+    breakdown_from_cycles,
+    perfect_variants,
+)
 
 #: Paper statements used for shape checks (values from §4 text).
 PAPER_FIG7_TPCC_SX = 0.35  # TPC-C spends 35% of time on L2-miss stalls
@@ -79,19 +83,25 @@ class Fig07Result:
 def fig07_characteristics(
     workloads: Optional[List[Workload]] = None,
     config: Optional[MachineConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig07Result:
-    """Figure 7: stall breakdown via perfect-structure models."""
+    """Figure 7: stall breakdown via perfect-structure models.
+
+    The four models per workload (base, perfect L2, perfect L1+TLB,
+    perfect everything) go through ``runner`` so they parallelise and
+    cache like every other figure's runs.
+    """
     workloads = workloads or standard_workloads()
     config = config or base_config()
+    runner = runner or ExperimentRunner()
+    variants = perfect_variants(config)
+    runner.prefetch(
+        up=[(variant, w) for variant in variants for w in workloads]
+    )
     breakdowns = []
     for workload in workloads:
-        breakdown = stall_breakdown(
-            config,
-            workload.trace(),
-            warmup_fraction=workload.warmup_fraction,
-            regions=workload.regions(),
-        )
-        breakdown.trace_name = workload.name
+        cycles = [runner.run(variant, workload).cycles for variant in variants]
+        breakdown = breakdown_from_cycles(workload.name, *cycles)
         breakdowns.append(breakdown)
     return Fig07Result(breakdowns)
 
@@ -130,6 +140,11 @@ def _ipc_ratio_study(
     workloads: List[Workload],
     runner: ExperimentRunner,
 ) -> IpcRatioResult:
+    # Fan the whole (config × workload) matrix out first; a parallel
+    # runner executes it across workers, the serial one stays lazy.
+    runner.prefetch(
+        up=[(config, w) for config in (baseline, alternative) for w in workloads]
+    )
     ratios: Dict[str, float] = {}
     for workload in workloads:
         base_result = runner.run(baseline, workload)
@@ -345,6 +360,15 @@ def fig14_15_l2(
         "off.8m-2w": l2_off_8m_2w(),
         "off.8m-1w": l2_off_8m_1w(),
     }
+    smp = smp_workload_override or smp_workload(smp_cpus)
+    runner.prefetch(
+        up=[(config, w) for config in configs.values() for w in workloads],
+        smp=(
+            [(config, smp, smp_cpus) for config in configs.values()]
+            if include_smp
+            else []
+        ),
+    )
     ipc_ratios: Dict[str, Dict[str, float]] = {}
     miss_ratios: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
@@ -362,7 +386,6 @@ def fig14_15_l2(
         miss_ratios[workload.name] = misses
 
     if include_smp:
-        smp = smp_workload_override or smp_workload(smp_cpus)
         ipcs = {}
         misses = {}
         for label, config in configs.items():

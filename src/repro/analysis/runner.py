@@ -1,64 +1,546 @@
-"""Experiment runner with per-process result caching.
+"""Experiment runners: serial (in-process) and parallel (multi-process).
 
 Several figures share runs (e.g. the Table 1 base configuration on all
 five workloads appears in Figures 8, 9, 11, 14, 16 and 18 as the
-baseline), so the runner memoises results by (config name, workload
-name, cpu count).
+baseline), so both runners memoise results — keyed by a *content hash*
+of the configuration plus the workload's cache key, never by display
+name alone, so two configs that share a name but differ in any
+parameter cannot alias.
+
+:class:`ParallelRunner` extends the serial runner with
+
+- **fan-out**: :meth:`~ParallelRunner.prefetch` runs a batch of
+  independent (config, workload[, cpu_count]) simulations across worker
+  processes (``jobs=N``) via :class:`concurrent.futures.ProcessPoolExecutor`;
+- **persistence**: results are memoised to disk through
+  :class:`~repro.analysis.cache.ResultCache`, so regenerating a figure a
+  second time is near-instant;
+- **observability**: per-run wall-clock, worker id, and hit/miss
+  counters, with a ``verbose`` progress line per event;
+- **graceful degradation**: a crashed worker or corrupt cache entry
+  falls back to a fresh in-process run instead of aborting the sweep.
+
+Determinism: the simulation depends only on (config, trace) and every
+trace is regenerated in the worker from an explicit seed
+(:mod:`repro.common.rng`), so serial and parallel execution produce
+bit-identical statistics regardless of worker scheduling.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.cache import ResultCache
+from repro.analysis.workloads import Workload
 from repro.model.config import MachineConfig
 from repro.model.simulator import PerformanceModel
 from repro.model.stats import SimResult
 from repro.smp.system import SmpResult, run_smp
-from repro.analysis.workloads import Workload
+
+#: (config, workload) pair for a uniprocessor prefetch.
+UpRequest = Tuple[MachineConfig, Workload]
+#: (config, workload, cpu_count) triple for an SMP prefetch.
+SmpRequest = Tuple[MachineConfig, Workload, int]
+
+
+def _run_up(config: MachineConfig, workload: Workload) -> SimResult:
+    """One uniprocessor simulation, in whichever process this runs."""
+    return PerformanceModel(config).run(
+        workload.trace(),
+        warmup_fraction=workload.warmup_fraction,
+        regions=workload.regions(),
+    )
+
+
+def _run_smp(config: MachineConfig, workload: Workload, cpu_count: int) -> SmpResult:
+    """One SMP simulation, in whichever process this runs."""
+    traces, regions = workload.smp_traces(cpu_count)
+    return run_smp(
+        config,
+        traces,
+        warmup_fraction=workload.warmup_fraction,
+        regions_per_cpu=regions,
+    )
+
+
+#: Per-worker workload memo: workers live across tasks (the runner keeps
+#: its pool), so reusing the Workload object lets its generated trace be
+#: shared by every config simulated on the same worker.
+_worker_workloads: Dict[str, Workload] = {}
+_WORKER_WORKLOAD_LIMIT = 8
+
+
+def _memoised_workload(workload: Workload) -> Workload:
+    key = workload.cache_key()
+    cached = _worker_workloads.get(key)
+    if cached is not None and type(cached) is type(workload):
+        return cached
+    if len(_worker_workloads) >= _WORKER_WORKLOAD_LIMIT:
+        _worker_workloads.pop(next(iter(_worker_workloads)))
+    _worker_workloads[key] = workload
+    return workload
+
+
+def _up_worker(config: MachineConfig, workload: Workload) -> Tuple[dict, int, float]:
+    """Worker entry point: returns (result dict, worker pid, seconds)."""
+    started = time.perf_counter()
+    result = _run_up(config, _memoised_workload(workload))
+    return result.to_dict(), os.getpid(), time.perf_counter() - started
+
+
+def _smp_worker(
+    config: MachineConfig, workload: Workload, cpu_count: int
+) -> Tuple[dict, int, float]:
+    """Worker entry point for SMP runs."""
+    started = time.perf_counter()
+    result = _run_smp(config, _memoised_workload(workload), cpu_count)
+    return result.to_dict(), os.getpid(), time.perf_counter() - started
+
+
+@dataclass
+class RunnerStats:
+    """Observability counters for one runner instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    runs_in_process: int = 0
+    runs_in_workers: int = 0
+    worker_fallbacks: int = 0
+    total_run_seconds: float = 0.0
+    #: (label, seconds, worker pid or None) per executed simulation.
+    timings: List[Tuple[str, float, Optional[int]]] = field(default_factory=list)
+
+    def record_run(self, label: str, seconds: float, pid: Optional[int]) -> None:
+        self.total_run_seconds += seconds
+        self.timings.append((label, seconds, pid))
+        if pid is None:
+            self.runs_in_process += 1
+        else:
+            self.runs_in_workers += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "runs_in_process": self.runs_in_process,
+            "runs_in_workers": self.runs_in_workers,
+            "worker_fallbacks": self.worker_fallbacks,
+            "total_run_seconds": round(self.total_run_seconds, 3),
+        }
 
 
 class ExperimentRunner:
-    """Runs (config, workload) pairs, caching results."""
+    """Runs (config, workload) pairs serially, caching results in memory."""
 
     def __init__(self, verbose: bool = False) -> None:
         self.verbose = verbose
+        self.stats = RunnerStats()
         self._up_cache: Dict[Tuple[str, str], SimResult] = {}
         self._smp_cache: Dict[Tuple[str, str, int], SmpResult] = {}
 
+    # -- keys ------------------------------------------------------------
+    #
+    # Keys are always recomputed from content: memoising the hash by
+    # ``id(config)`` is tempting but wrong — CPython reuses addresses
+    # after garbage collection, so a transient config can inherit a
+    # freed object's hash and silently alias a different machine.
+
+    def _up_key(self, config: MachineConfig, workload: Workload) -> Tuple[str, str]:
+        return (config.content_hash(), workload.cache_key())
+
+    def _smp_key(
+        self, config: MachineConfig, workload: Workload, cpu_count: int
+    ) -> Tuple[str, str, int]:
+        return (config.content_hash(), workload.cache_key(), cpu_count)
+
+    # -- logging ---------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(message)
+
+    # -- execution -------------------------------------------------------
+
     def run(self, config: MachineConfig, workload: Workload) -> SimResult:
         """Uniprocessor run of ``workload`` on ``config`` (cached)."""
-        key = (config.name, workload.name)
-        if key not in self._up_cache:
-            if self.verbose:
-                print(f"  running {workload.name} on {config.name} ...")
-            result = PerformanceModel(config).run(
-                workload.trace(),
-                warmup_fraction=workload.warmup_fraction,
-                regions=workload.regions(),
-            )
+        key = self._up_key(config, workload)
+        result = self._up_cache.get(key)
+        if result is None:
+            result = self._fetch_up(key, config, workload)
             self._up_cache[key] = result
-        return self._up_cache[key]
+        else:
+            self.stats.memory_hits += 1
+        return result
 
     def run_smp(
         self, config: MachineConfig, workload: Workload, cpu_count: int
     ) -> SmpResult:
         """SMP run with per-CPU traces of ``workload`` (cached)."""
-        key = (config.name, workload.name, cpu_count)
-        if key not in self._smp_cache:
-            if self.verbose:
-                print(
-                    f"  running {workload.name} x{cpu_count}P on {config.name} ..."
-                )
-            traces, regions = workload.smp_traces(cpu_count)
-            result = run_smp(
-                config,
-                traces,
-                warmup_fraction=workload.warmup_fraction,
-                regions_per_cpu=regions,
-            )
+        key = self._smp_key(config, workload, cpu_count)
+        result = self._smp_cache.get(key)
+        if result is None:
+            result = self._fetch_smp(key, config, workload, cpu_count)
             self._smp_cache[key] = result
-        return self._smp_cache[key]
+        else:
+            self.stats.memory_hits += 1
+        return result
+
+    def _fetch_up(
+        self, key: Tuple[str, str], config: MachineConfig, workload: Workload
+    ) -> SimResult:
+        """Produce an uncached uniprocessor result (serial: just run)."""
+        self.stats.misses += 1
+        self._log(f"  running {workload.name} on {config.name} ...")
+        started = time.perf_counter()
+        result = _run_up(config, workload)
+        self.stats.record_run(
+            f"{workload.name}@{config.name}", time.perf_counter() - started, None
+        )
+        return result
+
+    def _fetch_smp(
+        self,
+        key: Tuple[str, str, int],
+        config: MachineConfig,
+        workload: Workload,
+        cpu_count: int,
+    ) -> SmpResult:
+        """Produce an uncached SMP result (serial: just run)."""
+        self.stats.misses += 1
+        self._log(f"  running {workload.name} x{cpu_count}P on {config.name} ...")
+        started = time.perf_counter()
+        result = _run_smp(config, workload, cpu_count)
+        self.stats.record_run(
+            f"{workload.name}x{cpu_count}P@{config.name}",
+            time.perf_counter() - started,
+            None,
+        )
+        return result
+
+    def prefetch(
+        self,
+        up: Sequence[UpRequest] = (),
+        smp: Sequence[SmpRequest] = (),
+    ) -> None:
+        """Hint that these runs are coming.  Serial runner: no-op (lazy)."""
 
     def cached_results(self) -> Dict[Tuple[str, str], SimResult]:
         """All uniprocessor results produced so far."""
         return dict(self._up_cache)
+
+
+class ParallelRunner(ExperimentRunner):
+    """Multi-process experiment runner with a persistent disk cache.
+
+    ``jobs`` bounds the worker-process pool used by :meth:`prefetch`;
+    individual :meth:`run`/:meth:`run_smp` calls always execute
+    in-process (one simulation cannot be split), so figure and sweep
+    code prefetches its whole (config × workload) matrix first and then
+    reads results back through the ordinary serial interface.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        verbose: bool = False,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> None:
+        super().__init__(verbose=verbose)
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        #: Lazily created, reused across prefetch batches; workers stay
+        #: warm (their workload/trace memos survive between figures).
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def _discard_pool(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the worker pool down (also safe to never call)."""
+        self._discard_pool()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self._discard_pool()
+        except Exception:
+            pass
+
+    # -- disk cache ------------------------------------------------------
+
+    def _disk_load_up(self, key: Tuple[str, str]) -> Optional[SimResult]:
+        if self.cache is None:
+            return None
+        payload = self.cache.load(self.cache.key("up", *key))
+        if payload is None:
+            return None
+        try:
+            return SimResult.from_dict(payload)
+        except (ValueError, TypeError, KeyError):
+            # Payload from an incompatible writer: treat as a miss.
+            return None
+
+    def _disk_load_smp(self, key: Tuple[str, str, int]) -> Optional[SmpResult]:
+        if self.cache is None:
+            return None
+        payload = self.cache.load(self.cache.key("smp", key[0], key[1], key[2]))
+        if payload is None:
+            return None
+        try:
+            return SmpResult.from_dict(payload)
+        except (ValueError, TypeError, KeyError):
+            return None
+
+    def _disk_store_up(
+        self, key: Tuple[str, str], result: SimResult, workload: Workload
+    ) -> None:
+        if self.cache is not None:
+            self.cache.store(
+                self.cache.key("up", *key),
+                result.to_dict(),
+                meta={"config": result.config_name, "workload": workload.name},
+            )
+
+    def _disk_store_smp(
+        self, key: Tuple[str, str, int], result: SmpResult, workload: Workload
+    ) -> None:
+        if self.cache is not None:
+            self.cache.store(
+                self.cache.key("smp", key[0], key[1], key[2]),
+                result.to_dict(),
+                meta={
+                    "config": result.config_name,
+                    "workload": workload.name,
+                    "cpus": key[2],
+                },
+            )
+
+    # -- serial-path overrides (memo miss) -------------------------------
+
+    def _fetch_up(
+        self, key: Tuple[str, str], config: MachineConfig, workload: Workload
+    ) -> SimResult:
+        cached = self._disk_load_up(key)
+        if cached is not None:
+            self.stats.disk_hits += 1
+            self._log(f"  [cache] {workload.name} on {config.name}")
+            return cached
+        result = super()._fetch_up(key, config, workload)
+        self._disk_store_up(key, result, workload)
+        return result
+
+    def _fetch_smp(
+        self,
+        key: Tuple[str, str, int],
+        config: MachineConfig,
+        workload: Workload,
+        cpu_count: int,
+    ) -> SmpResult:
+        cached = self._disk_load_smp(key)
+        if cached is not None:
+            self.stats.disk_hits += 1
+            self._log(f"  [cache] {workload.name} x{cpu_count}P on {config.name}")
+            return cached
+        result = super()._fetch_smp(key, config, workload, cpu_count)
+        self._disk_store_smp(key, result, workload)
+        return result
+
+    # -- parallel fan-out ------------------------------------------------
+
+    def prefetch(
+        self,
+        up: Sequence[UpRequest] = (),
+        smp: Sequence[SmpRequest] = (),
+    ) -> None:
+        """Execute a batch of runs across workers, filling the caches.
+
+        Requests already satisfied by the in-memory memo or the disk
+        cache are skipped; the rest fan out over ``jobs`` processes.
+        Each worker failure degrades to an in-process rerun of that one
+        request, so a crash never loses the whole batch.
+        """
+        pending_up: List[Tuple[Tuple[str, str], MachineConfig, Workload]] = []
+        seen_keys = set()
+        for config, workload in up:
+            key = self._up_key(config, workload)
+            if key in seen_keys or key in self._up_cache:
+                continue
+            cached = self._disk_load_up(key)
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._up_cache[key] = cached
+                continue
+            seen_keys.add(key)
+            pending_up.append((key, config, workload))
+
+        pending_smp: List[
+            Tuple[Tuple[str, str, int], MachineConfig, Workload, int]
+        ] = []
+        for config, workload, cpu_count in smp:
+            key = self._smp_key(config, workload, cpu_count)
+            if key in seen_keys or key in self._smp_cache:
+                continue
+            cached = self._disk_load_smp(key)
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._smp_cache[key] = cached
+                continue
+            seen_keys.add(key)
+            pending_smp.append((key, config, workload, cpu_count))
+
+        total = len(pending_up) + len(pending_smp)
+        if total == 0:
+            return
+        self.stats.misses += total
+
+        if self.jobs == 1 and total == 1:
+            # Nothing to overlap; skip the pool entirely.
+            self._run_pending_inline(pending_up, pending_smp)
+            return
+        self._run_pending_pool(pending_up, pending_smp)
+
+    def _run_pending_inline(self, pending_up, pending_smp) -> None:
+        for key, config, workload in pending_up:
+            self._log(f"  running {workload.name} on {config.name} ...")
+            started = time.perf_counter()
+            result = _run_up(config, workload)
+            self.stats.record_run(
+                f"{workload.name}@{config.name}",
+                time.perf_counter() - started,
+                None,
+            )
+            self._up_cache[key] = result
+            self._disk_store_up(key, result, workload)
+        for key, config, workload, cpu_count in pending_smp:
+            self._log(f"  running {workload.name} x{cpu_count}P on {config.name} ...")
+            started = time.perf_counter()
+            result = _run_smp(config, workload, cpu_count)
+            self.stats.record_run(
+                f"{workload.name}x{cpu_count}P@{config.name}",
+                time.perf_counter() - started,
+                None,
+            )
+            self._smp_cache[key] = result
+            self._disk_store_smp(key, result, workload)
+
+    def _run_pending_pool(self, pending_up, pending_smp) -> None:
+        """Fan pending runs out over a worker pool, falling back per-run."""
+        total = len(pending_up) + len(pending_smp)
+        self._log(f"  fanning {total} runs out over {self.jobs} workers ...")
+        futures = {}
+        done_count = 0
+        try:
+            pool = self._pool()
+            for item in pending_up:
+                key, config, workload = item
+                futures[pool.submit(_up_worker, config, workload)] = ("up", item)
+            for item in pending_smp:
+                key, config, workload, cpu_count = item
+                futures[pool.submit(_smp_worker, config, workload, cpu_count)] = (
+                    "smp",
+                    item,
+                )
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    kind, item = futures[future]
+                    done_count += 1
+                    try:
+                        payload, pid, seconds = future.result()
+                    except Exception as error:  # noqa: BLE001
+                        self._recover(kind, item, error)
+                        continue
+                    self._install(kind, item, payload, pid, seconds, done_count, total)
+        except Exception as error:  # noqa: BLE001
+            # Pool-level failure (e.g. the executor itself cannot start,
+            # or it broke mid-batch): discard it and rerun whatever was
+            # never installed, in-process.
+            self._discard_pool()
+            self._log(f"  worker pool failed ({error!r}); completing in-process")
+            leftovers_up = [
+                item for item in pending_up if item[0] not in self._up_cache
+            ]
+            leftovers_smp = [
+                item for item in pending_smp if item[0] not in self._smp_cache
+            ]
+            self.stats.worker_fallbacks += len(leftovers_up) + len(leftovers_smp)
+            self._run_pending_inline(leftovers_up, leftovers_smp)
+
+    def _install(
+        self, kind, item, payload, pid, seconds, done_count, total
+    ) -> None:
+        if kind == "up":
+            key, config, workload = item
+            result = SimResult.from_dict(payload)
+            label = f"{workload.name}@{config.name}"
+            self._up_cache[key] = result
+            self._disk_store_up(key, result, workload)
+        else:
+            key, config, workload, cpu_count = item
+            result = SmpResult.from_dict(payload)
+            label = f"{workload.name}x{cpu_count}P@{config.name}"
+            self._smp_cache[key] = result
+            self._disk_store_smp(key, result, workload)
+        self.stats.record_run(label, seconds, pid)
+        self._log(
+            f"  [{done_count}/{total}] worker {pid} finished {label} "
+            f"in {seconds:.2f}s"
+        )
+
+    def _recover(self, kind, item, error) -> None:
+        """A worker died or raised: rerun this one request in-process."""
+        self.stats.worker_fallbacks += 1
+        if isinstance(error, BrokenExecutor):
+            # A dead pool stays dead; drop it so later batches rebuild one.
+            self._discard_pool()
+        if kind == "up":
+            key, config, workload = item
+            self._log(
+                f"  worker failed on {workload.name}@{config.name} "
+                f"({error!r}); rerunning in-process"
+            )
+            self._run_pending_inline([item], [])
+        else:
+            key, config, workload, cpu_count = item
+            self._log(
+                f"  worker failed on {workload.name}x{cpu_count}P@{config.name} "
+                f"({error!r}); rerunning in-process"
+            )
+            self._run_pending_inline([], [item])
+
+    def summary(self) -> str:
+        """One-line observability summary (cache + execution counters)."""
+        stats = self.stats
+        parts = [
+            f"memory hits {stats.memory_hits}",
+            f"disk hits {stats.disk_hits}",
+            f"misses {stats.misses}",
+            f"in-process runs {stats.runs_in_process}",
+            f"worker runs {stats.runs_in_workers}",
+            f"fallbacks {stats.worker_fallbacks}",
+            f"sim time {stats.total_run_seconds:.1f}s",
+        ]
+        if self.cache is not None:
+            parts.append(f"cache corrupt {self.cache.stats.corrupt}")
+        return ", ".join(parts)

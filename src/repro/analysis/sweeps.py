@@ -19,10 +19,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRunner
+from repro.analysis.runner import ExperimentRunner, ParallelRunner
 from repro.analysis.workloads import Workload, smp_workload, workload_by_name
 from repro.frontend.bht import BhtParams
 from repro.model.config import MachineConfig, base_config
+
+
+def _default_runner(jobs: int) -> ExperimentRunner:
+    """Serial runner for jobs=1, process-pool runner above that."""
+    if jobs > 1:
+        return ParallelRunner(jobs=jobs)
+    return ExperimentRunner()
 
 
 @dataclass
@@ -50,20 +57,25 @@ def l2_size_sweep(
     sizes_mb: Sequence[int] = (1, 2, 4, 8),
     workload: Optional[Workload] = None,
     runner: Optional[ExperimentRunner] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """IPC and L2 miss ratio versus on-chip L2 capacity (TPC-C)."""
     workload = workload or workload_by_name("TPC-C")
-    runner = runner or ExperimentRunner()
+    runner = runner or _default_runner(jobs)
     base = base_config()
-    ipcs: List[float] = []
-    misses: List[float] = []
-    for size in sizes_mb:
-        config = base.derived(
+    configs = [
+        base.derived(
             f"l2-{size}m",
             l2=base.l2.scaled(
                 name=f"L2-{size}m", size_bytes=size * 1024 * 1024
             ),
         )
+        for size in sizes_mb
+    ]
+    runner.prefetch(up=[(config, workload) for config in configs])
+    ipcs: List[float] = []
+    misses: List[float] = []
+    for config in configs:
         result = runner.run(config, workload)
         ipcs.append(result.ipc)
         misses.append(result.miss_ratio("l2"))
@@ -79,17 +91,18 @@ def window_size_sweep(
     sizes: Sequence[int] = (16, 32, 64, 128),
     workload: Optional[Workload] = None,
     runner: Optional[ExperimentRunner] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """IPC versus instruction-window (commit stack) depth."""
     workload = workload or workload_by_name("SPECint95")
-    runner = runner or ExperimentRunner()
+    runner = runner or _default_runner(jobs)
     base = base_config()
-    ipcs = []
-    for size in sizes:
-        config = base.derived(
-            f"window-{size}", core=base.core.derived(window_size=size)
-        )
-        ipcs.append(runner.run(config, workload).ipc)
+    configs = [
+        base.derived(f"window-{size}", core=base.core.derived(window_size=size))
+        for size in sizes
+    ]
+    runner.prefetch(up=[(config, workload) for config in configs])
+    ipcs = [runner.run(config, workload).ipc for config in configs]
     return SweepResult(
         title=f"Instruction-window sweep on {workload.name}",
         axis="window",
@@ -102,19 +115,24 @@ def bht_size_sweep(
     entry_counts: Sequence[int] = (1024, 4096, 16384, 65536),
     workload: Optional[Workload] = None,
     runner: Optional[ExperimentRunner] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Misprediction ratio versus BHT capacity (fills in Figure 10)."""
     workload = workload or workload_by_name("TPC-C")
-    runner = runner or ExperimentRunner()
+    runner = runner or _default_runner(jobs)
     base = base_config()
-    rates = []
-    ipcs = []
-    for entries in entry_counts:
-        config = base.derived(
+    configs = [
+        base.derived(
             f"bht-{entries}",
             bht=BhtParams(f"{entries // 1024}k", entries=entries, ways=4,
                           access_latency=2),
         )
+        for entries in entry_counts
+    ]
+    runner.prefetch(up=[(config, workload) for config in configs])
+    rates = []
+    ipcs = []
+    for config in configs:
         result = runner.run(config, workload)
         rates.append(result.bht_misprediction_ratio)
         ipcs.append(result.ipc)
@@ -132,15 +150,19 @@ def smp_scaling_sweep(
     warm: int = 20_000,
     timed: int = 6_000,
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """System throughput and coherence traffic versus processor count."""
-    runner = runner or ExperimentRunner()
+    runner = runner or _default_runner(jobs)
     config = config or base_config()
+    points = [
+        (smp_workload(cpus, warm=warm, timed=timed), cpus) for cpus in cpu_counts
+    ]
+    runner.prefetch(smp=[(config, workload, cpus) for workload, cpus in points])
     system_ipcs = []
     per_cpu_ipcs = []
     move_out_rates = []
-    for cpus in cpu_counts:
-        workload = smp_workload(cpus, warm=warm, timed=timed)
+    for workload, cpus in points:
         result = runner.run_smp(config, workload, cpus)
         system_ipcs.append(result.ipc)
         per_cpu_ipcs.append(result.per_cpu_ipc)

@@ -4,7 +4,11 @@ Commands:
 
 - ``table1`` — print the production machine configuration.
 - ``run`` — simulate one workload on one configuration.
-- ``figures`` — regenerate one or all of the paper's figures.
+- ``figures`` — regenerate one or all of the paper's figures
+  (``--jobs N`` fans independent runs over worker processes; results
+  persist in ``.repro_cache/``).
+- ``sweeps`` — run the supplemental parameter sweeps (same knobs).
+- ``cache`` — inspect or clear the persistent result cache.
 - ``trace`` — generate a synthetic trace to a file.
 - ``verify`` — run the Reverse-Tracer/logic-simulator cross-check.
 - ``smp`` — run the TPC-C SMP study.
@@ -69,9 +73,46 @@ def _cmd_run(args: argparse.Namespace) -> None:
     print(result.summary())
 
 
+def _make_runner(args: argparse.Namespace):
+    """Build the runner the figures/sweeps commands share."""
+    from repro.analysis import ParallelRunner
+
+    return ParallelRunner(
+        jobs=args.jobs,
+        verbose=not args.quiet,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for independent runs (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default .repro_cache or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-run progress lines",
+    )
+
+
 def _cmd_figures(args: argparse.Namespace) -> None:
     from repro.analysis import (
-        ExperimentRunner,
         fig07_characteristics,
         fig08_issue_width,
         fig09_10_bht,
@@ -83,9 +124,9 @@ def _cmd_figures(args: argparse.Namespace) -> None:
     )
 
     workloads = standard_workloads(warm=args.warm, timed=args.timed)
-    runner = ExperimentRunner(verbose=True)
+    runner = _make_runner(args)
     figure_map = {
-        "7": lambda: fig07_characteristics(workloads),
+        "7": lambda: fig07_characteristics(workloads, runner=runner),
         "8": lambda: fig08_issue_width(workloads, runner),
         "9": lambda: fig09_10_bht(workloads, runner),
         "11": lambda: fig11_12_13_l1(workloads, runner),
@@ -115,6 +156,64 @@ def _cmd_figures(args: argparse.Namespace) -> None:
         result = figure_map[key]()
         print()
         print(result.format_table())
+    if not args.quiet:
+        print()
+        print(f"runner: {runner.summary()}")
+
+
+def _cmd_sweeps(args: argparse.Namespace) -> None:
+    from repro.analysis import (
+        bht_size_sweep,
+        l2_size_sweep,
+        smp_scaling_sweep,
+        window_size_sweep,
+        workload_by_name,
+    )
+
+    runner = _make_runner(args)
+
+    def sized(name):
+        return workload_by_name(name, warm=args.warm, timed=args.timed)
+
+    sweep_map = {
+        "l2": lambda: l2_size_sweep(runner=runner, workload=sized("TPC-C")),
+        "window": lambda: window_size_sweep(
+            runner=runner, workload=sized("SPECint95")
+        ),
+        "bht": lambda: bht_size_sweep(runner=runner, workload=sized("TPC-C")),
+        "smp": lambda: smp_scaling_sweep(
+            runner=runner,
+            cpu_counts=tuple(args.cpus),
+            warm=min(args.warm, 20_000),
+            timed=min(args.timed, 6_000),
+        ),
+    }
+    wanted = sweep_map.keys() if args.sweep == "all" else [args.sweep]
+    for key in wanted:
+        if key not in sweep_map:
+            raise SystemExit(
+                f"unknown sweep {key!r}; choose from: "
+                f"{', '.join(sweep_map)} or 'all'"
+            )
+        print()
+        print(sweep_map[key]().format_table())
+    if not args.quiet:
+        print()
+        print(f"runner: {runner.summary()}")
+
+
+def _cmd_cache(args: argparse.Namespace) -> None:
+    from repro.analysis import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return
+    print(f"directory    {cache.directory}")
+    print(f"entries      {cache.entries()}")
+    print(f"size         {cache.size_bytes():,} bytes")
+    print(f"code version {cache.code_hash}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -199,7 +298,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--warm", type=int, default=100_000)
     p_fig.add_argument("--timed", type=int, default=25_000)
     p_fig.add_argument("--smp-cpus", type=int, default=16)
+    _add_runner_options(p_fig)
     p_fig.set_defaults(func=_cmd_figures)
+
+    p_sweeps = sub.add_parser("sweeps", help="run supplemental parameter sweeps")
+    p_sweeps.add_argument("sweep", nargs="?", default="all",
+                          help="l2, window, bht, smp, or 'all'")
+    p_sweeps.add_argument("--cpus", type=int, nargs="+", default=[1, 2, 4],
+                          help="CPU counts for the smp sweep")
+    p_sweeps.add_argument("--warm", type=int, default=100_000)
+    p_sweeps.add_argument("--timed", type=int, default=25_000)
+    _add_runner_options(p_sweeps)
+    p_sweeps.set_defaults(func=_cmd_sweeps)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete all cached results")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_trace = sub.add_parser("trace", help="generate a synthetic trace file")
     p_trace.add_argument("workload")

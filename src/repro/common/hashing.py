@@ -1,0 +1,68 @@
+"""Content hashing for cache keys.
+
+Two hashes govern the persistent result cache
+(:mod:`repro.analysis.cache`):
+
+- :func:`content_hash` — a digest of an object's *values* (dataclasses
+  are walked field by field), so two configurations that differ in any
+  parameter hash differently even when they share a display name;
+- :func:`code_version` — a digest of every ``repro`` source file, so
+  editing the simulator invalidates all previously cached results.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Optional
+
+_DIGEST_CHARS = 16
+
+_code_version: Optional[str] = None
+
+
+def canonical(value: object) -> object:
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically.
+
+    Dataclasses become ``{field: value}`` dicts (declaration order),
+    enums their names, tuples lists.  Dict keys are sorted so insertion
+    order never leaks into the digest.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical(getattr(value, f.name)) for f in fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): canonical(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def content_hash(value: object) -> str:
+    """Hex digest of ``value``'s canonical form."""
+    payload = json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:_DIGEST_CHARS]
+
+
+def code_version() -> str:
+    """Hex digest over every ``repro`` source file (cached per process)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:_DIGEST_CHARS]
+    return _code_version

@@ -102,6 +102,16 @@ class MachineConfig:
         """Copy with the given fields replaced and a new name."""
         return replace(self, name=name, **changes)
 
+    def content_hash(self) -> str:
+        """Digest of every parameter (not just the display name).
+
+        Experiment caches key on this, so two configurations that share
+        a ``name`` but differ in any field never alias.
+        """
+        from repro.common.hashing import content_hash
+
+        return content_hash(self)
+
     def table1(self) -> str:
         """Render the configuration the way Table 1 itemises it."""
         core = self.core

@@ -20,7 +20,7 @@ The decomposition, matching Figure 7's four categories:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.model.config import MachineConfig
 from repro.model.simulator import PerformanceModel
@@ -51,6 +51,52 @@ class StallBreakdown:
         assert abs(total - 1.0) < 1e-6, f"breakdown does not sum to 1: {total}"
 
 
+def perfect_variants(config: MachineConfig) -> List[MachineConfig]:
+    """The four models of the decomposition: base → everything perfect."""
+    return [
+        config,
+        config.derived(f"{config.name}+perfectL2", perfect_l2=True),
+        config.derived(
+            f"{config.name}+perfectL1",
+            perfect_l1=True,
+            perfect_l2=True,
+            perfect_tlb=True,
+        ),
+        config.derived(
+            f"{config.name}+perfectAll",
+            perfect_l1=True,
+            perfect_l2=True,
+            perfect_tlb=True,
+            perfect_branch_prediction=True,
+        ),
+    ]
+
+
+def breakdown_from_cycles(
+    trace_name: str,
+    base_cycles: int,
+    perfect_l2_cycles: int,
+    perfect_l1_cycles: int,
+    perfect_all_cycles: int,
+) -> StallBreakdown:
+    """Assemble the Figure 7 decomposition from the four cycle counts."""
+    # Idealising a structure can never be allowed to *increase* time in
+    # the decomposition; clamp tiny modelling inversions to zero.
+    sx = max(base_cycles - perfect_l2_cycles, 0)
+    ibs_tlb = max(perfect_l2_cycles - perfect_l1_cycles, 0)
+    branch = max(perfect_l1_cycles - perfect_all_cycles, 0)
+    core = base_cycles - sx - ibs_tlb - branch
+
+    return StallBreakdown(
+        trace_name=trace_name,
+        base_cycles=base_cycles,
+        core=core / base_cycles,
+        branch=branch / base_cycles,
+        ibs_tlb=ibs_tlb / base_cycles,
+        sx=sx / base_cycles,
+    )
+
+
 def stall_breakdown(
     config: MachineConfig,
     trace: Trace,
@@ -58,41 +104,8 @@ def stall_breakdown(
     regions: dict = None,
 ) -> StallBreakdown:
     """Compute the Figure 7 decomposition for one workload."""
-    base = PerformanceModel(config).run(trace, warmup_fraction, regions=regions)
-
-    perfect_l2 = PerformanceModel(
-        config.derived(f"{config.name}+perfectL2", perfect_l2=True)
-    ).run(trace, warmup_fraction, regions=regions)
-
-    perfect_l1 = PerformanceModel(
-        config.derived(
-            f"{config.name}+perfectL1", perfect_l1=True, perfect_l2=True, perfect_tlb=True
-        )
-    ).run(trace, warmup_fraction, regions=regions)
-
-    perfect_all = PerformanceModel(
-        config.derived(
-            f"{config.name}+perfectAll",
-            perfect_l1=True,
-            perfect_l2=True,
-            perfect_tlb=True,
-            perfect_branch_prediction=True,
-        )
-    ).run(trace, warmup_fraction, regions=regions)
-
-    base_cycles = base.cycles
-    # Idealising a structure can never be allowed to *increase* time in
-    # the decomposition; clamp tiny modelling inversions to zero.
-    sx = max(base_cycles - perfect_l2.cycles, 0)
-    ibs_tlb = max(perfect_l2.cycles - perfect_l1.cycles, 0)
-    branch = max(perfect_l1.cycles - perfect_all.cycles, 0)
-    core = base_cycles - sx - ibs_tlb - branch
-
-    return StallBreakdown(
-        trace_name=trace.name,
-        base_cycles=base_cycles,
-        core=core / base_cycles,
-        branch=branch / base_cycles,
-        ibs_tlb=ibs_tlb / base_cycles,
-        sx=sx / base_cycles,
-    )
+    cycles = [
+        PerformanceModel(variant).run(trace, warmup_fraction, regions=regions).cycles
+        for variant in perfect_variants(config)
+    ]
+    return breakdown_from_cycles(trace.name, *cycles)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.core.pipeline import CoreStats
@@ -47,7 +47,16 @@ class SimResult:
         key = "demand_miss_ratio" if demand_only else "total_miss_ratio"
         return float(stats.get(key, 0.0))
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self, include_speed: bool = True) -> Dict[str, object]:
+        """Rounded summary; ``include_speed=False`` drops the one
+        wall-clock-dependent field, leaving only deterministic
+        architectural statistics (what the determinism tests compare)."""
+        data = self._as_dict()
+        if not include_speed:
+            data.pop("sim_speed_ips")
+        return data
+
+    def _as_dict(self) -> Dict[str, object]:
         return {
             "config": self.config_name,
             "trace": self.trace_name,
@@ -72,6 +81,34 @@ class SimResult:
         data = self.as_dict()
         width = max(len(key) for key in data)
         return "\n".join(f"{key:<{width}}  {value}" for key, value in data.items())
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full lossless serialisation (inverse of :meth:`from_dict`).
+
+        Unlike :meth:`as_dict` — a rounded human-facing summary — this
+        preserves every field exactly, so a result can round-trip
+        through JSON (e.g. the on-disk experiment cache) and report the
+        same ``ipc``/``cycles``/``miss_ratio`` values as the original.
+        """
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "core"
+        }
+        payload["core"] = asdict(self.core)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimResult":
+        """Rebuild a result serialised by :meth:`to_dict`."""
+        data = dict(payload)
+        core_data = dict(data.pop("core"))
+        core = CoreStats(**core_data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
+        return cls(core=core, **data)
 
 
 def ipc_ratio(alternative: SimResult, baseline: SimResult) -> float:

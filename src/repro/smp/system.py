@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError, SimulationError
@@ -73,6 +74,27 @@ class SmpResult:
             "system_bus_utilization": round(self.system_bus_utilization, 4),
             "coherence": self.coherence,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full lossless serialisation (inverse of :meth:`from_dict`)."""
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in dataclass_fields(self)
+            if f.name != "per_cpu"
+        }
+        payload["per_cpu"] = [result.to_dict() for result in self.per_cpu]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SmpResult":
+        """Rebuild a result serialised by :meth:`to_dict`."""
+        data = dict(payload)
+        per_cpu = [SimResult.from_dict(item) for item in data.pop("per_cpu")]
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SmpResult fields: {sorted(unknown)}")
+        return cls(per_cpu=per_cpu, **data)
 
 
 class SmpSystem:

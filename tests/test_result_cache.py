@@ -1,0 +1,122 @@
+"""Tests for the persistent on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.runner import ExperimentRunner, ParallelRunner
+from repro.analysis.workloads import workload_by_name
+from repro.common.hashing import code_version, content_hash
+from repro.model.config import base_config
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path))
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, cache):
+        key = cache.key("up", "cfg", "wl")
+        cache.store(key, {"ipc": 1.25, "cycles": 800})
+        assert cache.load(key) == {"ipc": 1.25, "cycles": 800}
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_missing_entry_is_miss(self, cache):
+        assert cache.load(cache.key("up", "cfg", "never-ran")) is None
+        assert cache.stats.misses == 1
+
+    def test_keys_separate_kinds_and_cpu_counts(self, cache):
+        keys = {
+            cache.key("up", "cfg", "wl"),
+            cache.key("smp", "cfg", "wl"),
+            cache.key("smp", "cfg", "wl", 4),
+            cache.key("smp", "cfg", "wl", 16),
+        }
+        assert len(keys) == 4
+
+    def test_entries_and_clear(self, cache):
+        for index in range(3):
+            cache.store(cache.key("up", "cfg", f"wl{index}"), {"n": index})
+        assert cache.entries() == 3
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 3
+        assert cache.entries() == 0
+
+
+class TestCorruption:
+    def test_garbage_is_miss_and_removed(self, cache):
+        key = cache.key("up", "cfg", "wl")
+        cache.store(key, {"ipc": 1.0})
+        cache.path(key).write_text("not json {{{", encoding="utf-8")
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+        assert not cache.path(key).exists()
+
+    def test_truncated_entry_is_miss(self, cache):
+        key = cache.key("up", "cfg", "wl")
+        cache.store(key, {"ipc": 1.0, "cycles": 12345})
+        raw = cache.path(key).read_text(encoding="utf-8")
+        cache.path(key).write_text(raw[: len(raw) // 2], encoding="utf-8")
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_envelope_shape_is_miss(self, cache):
+        key = cache.key("up", "cfg", "wl")
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.path(key).write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_stale_code_version_is_miss(self, cache, tmp_path):
+        key = cache.key("up", "cfg", "wl")
+        cache.store(key, {"ipc": 1.0})
+        older = ResultCache(str(tmp_path), code_hash="0" * 16)
+        assert older.load(key) is None
+        assert older.stats.corrupt == 1
+
+    def test_runner_survives_corrupt_entry(self, tmp_path):
+        """A corrupt cache file degrades to a fresh run, same stats."""
+        config = base_config()
+        workload = workload_by_name("SPECint95", warm=2_000, timed=800)
+        runner = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        fresh = runner.run(config, workload)
+
+        disk_key = runner.cache.key(
+            "up", config.content_hash(), workload.cache_key()
+        )
+        runner.cache.path(disk_key).write_text("\x00garbage", encoding="utf-8")
+
+        recovered_runner = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        recovered = recovered_runner.run(config, workload)
+        assert recovered_runner.cache.stats.corrupt == 1
+        assert recovered_runner.stats.misses == 1
+        assert recovered.as_dict(include_speed=False) == fresh.as_dict(
+            include_speed=False
+        )
+        # The rerun repaired the entry on disk.
+        third = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        third.run(config, workload)
+        assert third.stats.disk_hits == 1
+
+
+class TestHashing:
+    def test_content_hash_stable_and_sensitive(self):
+        base = base_config()
+        assert content_hash(base) == content_hash(base_config())
+        tweaked = base.derived(base.name, memory=base.memory)
+        assert content_hash(tweaked) == content_hash(base)
+        slower = base.derived(base.name, core=base.core.derived(issue_width=2))
+        assert content_hash(slower) != content_hash(base)
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_cache_key_includes_code_version(self, tmp_path):
+        now = ResultCache(str(tmp_path))
+        other = ResultCache(str(tmp_path), code_hash="f" * 16)
+        assert now.key("up", "cfg", "wl") != other.key("up", "cfg", "wl")

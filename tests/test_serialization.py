@@ -1,0 +1,89 @@
+"""Round-trip tests for result serialization (cache wire format)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.workloads import smp_workload, workload_by_name
+from repro.model.config import base_config
+from repro.model.stats import SimResult
+from repro.smp.system import SmpResult
+
+
+@pytest.fixture(scope="module")
+def up_result():
+    workload = workload_by_name("SPECint95", warm=2_000, timed=800)
+    return ExperimentRunner().run(base_config(), workload)
+
+
+@pytest.fixture(scope="module")
+def smp_result():
+    workload = smp_workload(2, warm=2_000, timed=600)
+    return ExperimentRunner().run_smp(base_config(), workload, 2)
+
+
+class TestSimResultRoundTrip:
+    def test_json_roundtrip_exact(self, up_result):
+        clone = SimResult.from_dict(
+            json.loads(json.dumps(up_result.to_dict()))
+        )
+        assert clone.ipc == up_result.ipc
+        assert clone.cycles == up_result.cycles
+        assert clone.instructions == up_result.instructions
+        for cache in ("l1i", "l1d", "l2"):
+            assert clone.miss_ratio(cache) == up_result.miss_ratio(cache)
+            assert clone.miss_ratio(cache, demand_only=False) == up_result.miss_ratio(
+                cache, demand_only=False
+            )
+        assert clone.as_dict() == up_result.as_dict()
+        assert clone.to_dict() == up_result.to_dict()
+
+    def test_core_counters_preserved(self, up_result):
+        clone = SimResult.from_dict(up_result.to_dict())
+        assert clone.core.replays == up_result.core.replays
+        assert clone.core.bank_conflicts == up_result.core.bank_conflicts
+        assert clone.core.decode_stalls == up_result.core.decode_stalls
+
+    def test_unknown_field_rejected(self, up_result):
+        payload = up_result.to_dict()
+        payload["nonsense"] = 1
+        with pytest.raises(ValueError, match="nonsense"):
+            SimResult.from_dict(payload)
+
+
+class TestSmpResultRoundTrip:
+    def test_json_roundtrip_exact(self, smp_result):
+        clone = SmpResult.from_dict(
+            json.loads(json.dumps(smp_result.to_dict()))
+        )
+        assert clone.ipc == smp_result.ipc
+        assert clone.per_cpu_ipc == smp_result.per_cpu_ipc
+        assert clone.cycles == smp_result.cycles
+        assert clone.l2_miss_ratio() == smp_result.l2_miss_ratio()
+        assert clone.coherence == smp_result.coherence
+        assert clone.as_dict() == smp_result.as_dict()
+        assert clone.to_dict() == smp_result.to_dict()
+
+    def test_per_cpu_results_preserved(self, smp_result):
+        clone = SmpResult.from_dict(smp_result.to_dict())
+        assert len(clone.per_cpu) == smp_result.cpu_count
+        for mine, theirs in zip(clone.per_cpu, smp_result.per_cpu):
+            assert mine.as_dict() == theirs.as_dict()
+
+    def test_unknown_field_rejected(self, smp_result):
+        payload = smp_result.to_dict()
+        payload["bogus"] = {}
+        with pytest.raises(ValueError, match="bogus"):
+            SmpResult.from_dict(payload)
+
+
+class TestSummaryViews:
+    def test_as_dict_speed_toggle(self, up_result):
+        with_speed = up_result.as_dict()
+        without = up_result.as_dict(include_speed=False)
+        assert "sim_speed_ips" in with_speed
+        assert "sim_speed_ips" not in without
+        assert {k: v for k, v in with_speed.items() if k != "sim_speed_ips"} == without
