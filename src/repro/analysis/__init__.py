@@ -14,7 +14,9 @@ from repro.analysis.workloads import (
     workload_by_name,
 )
 from repro.analysis.cache import ResultCache
-from repro.analysis.runner import ExperimentRunner, ParallelRunner
+from repro.analysis.campaign import CampaignManifest
+from repro.analysis.policy import RunPolicy
+from repro.analysis.runner import ExperimentRunner, ParallelRunner, RunnerStats
 from repro.analysis.figures import (
     fig07_characteristics,
     fig08_issue_width,
@@ -41,6 +43,9 @@ __all__ = [
     "workload_by_name",
     "ExperimentRunner",
     "ParallelRunner",
+    "RunnerStats",
+    "RunPolicy",
+    "CampaignManifest",
     "ResultCache",
     "fig07_characteristics",
     "fig08_issue_width",

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.common import faults
 from repro.common.hashing import code_version
 
 #: Default cache directory (relative to the working directory).
@@ -131,12 +132,15 @@ class ResultCache:
             "meta": meta or {},
             "payload": payload,
         }
+        # Serialise first so fault injection (testing) can damage the
+        # byte stream exactly the way a crashed non-atomic writer would.
+        text = faults.corrupt_cache_text(json.dumps(envelope), key)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.directory), prefix=f".{key}.", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(envelope, handle)
+                handle.write(text)
             os.replace(tmp_name, self.path(key))
         except OSError:
             try:

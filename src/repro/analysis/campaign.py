@@ -1,0 +1,199 @@
+"""Checkpointed campaign manifests for resumable sweeps and figures.
+
+A figure or sweep campaign is a batch of (config, workload[, cpus])
+runs.  The persistent :class:`~repro.analysis.cache.ResultCache`
+already makes a restarted campaign cheap — completed runs replay from
+disk — but it cannot *tell you* what a killed campaign had finished.
+:class:`CampaignManifest` does: every completed run appends one record
+to an append-only JSONL file, fsync'd so a power cut cannot lose it,
+and a restarted campaign loads the manifest to report exactly which
+keys remain (``python -m repro sweeps --resume`` prints the count).
+
+Robustness properties, each covered by ``tests/test_campaign.py``:
+
+- appends are atomic at the line level (single ``write`` + flush +
+  fsync of a ``\\n``-terminated record);
+- a truncated final line — the signature of a crash mid-append — is
+  ignored on load and overwritten by the next append;
+- a manifest written by a different code version is set aside (renamed
+  to ``*.stale``) rather than trusted, because run keys embed the
+  source-tree digest indirectly through the result cache;
+- garbage headers raise :class:`~repro.common.errors.CampaignError`
+  only when the caller demands strictness; the default is to quarantine
+  and start fresh, matching the runner's degrade-don't-abort posture.
+
+Keys are digests of (kind, config content hash, workload cache key,
+cpu count) — the same identity the result cache uses — so "manifest
+says complete" and "cache can serve it" refer to the same run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.common.errors import CampaignError
+from repro.common.hashing import code_version
+
+#: Manifest header format version; bump when the record layout changes.
+MANIFEST_FORMAT = 1
+
+
+class CampaignManifest:
+    """Append-only record of completed runs for one campaign."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        code_hash: Optional[str] = None,
+        strict: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.code_hash = code_hash or code_version()
+        self.strict = strict
+        #: key -> human-readable label, in completion order.
+        self._completed: Dict[str, str] = {}
+        #: Lines dropped on load (truncated tail, foreign garbage).
+        self.recovered_drops = 0
+        #: True when this manifest resumed an earlier, interrupted file.
+        self.resumed = False
+        self._handle = None
+        self._load()
+
+    # -- keys ------------------------------------------------------------
+
+    def key(self, kind: str, *parts: object) -> str:
+        """Digest naming one run (same identity as the result cache)."""
+        material = "\x1f".join([kind] + [str(part) for part in parts])
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+    # -- load ------------------------------------------------------------
+
+    def _quarantine(self, reason: str) -> None:
+        """Set a bad/stale manifest aside and start fresh."""
+        if self.strict:
+            raise CampaignError(f"manifest {self.path}: {reason}")
+        stale = self.path.with_suffix(self.path.suffix + ".stale")
+        try:
+            os.replace(self.path, stale)
+        except OSError:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        self._completed = {}
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            self._quarantine(f"unreadable ({exc})")
+            return
+        lines = raw.split("\n")
+        if not lines or not lines[0].strip():
+            self._quarantine("empty or headerless")
+            return
+        try:
+            header = json.loads(lines[0])
+            if header.get("campaign") != MANIFEST_FORMAT:
+                raise ValueError("format mismatch")
+        except (ValueError, AttributeError):
+            self._quarantine("unrecognised header")
+            return
+        if header.get("code") != self.code_hash:
+            # Simulator changed since the campaign started: its cached
+            # results are invalid anyway, so the bookkeeping is too.
+            self._quarantine(
+                f"written by code version {header.get('code')!r}, "
+                f"current is {self.code_hash!r}"
+            )
+            return
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+            except (ValueError, KeyError, TypeError):
+                # A torn final append (crash mid-write) or stray bytes:
+                # drop the line; the run will simply be redone/recached.
+                self.recovered_drops += 1
+                continue
+            self._completed[str(key)] = str(record.get("label", ""))
+        self.resumed = bool(self._completed)
+
+    # -- append ----------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            torn_tail = False
+            if not fresh:
+                with open(self.path, "rb") as peek:
+                    peek.seek(-1, os.SEEK_END)
+                    torn_tail = peek.read(1) != b"\n"
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if torn_tail:
+                # Seal a torn final line (crash mid-append) so the next
+                # record starts on its own line instead of extending the
+                # garbage; the torn line itself is dropped on load.
+                self._handle.write("\n")
+            if fresh:
+                self._append_line(
+                    {"campaign": MANIFEST_FORMAT, "code": self.code_hash}
+                )
+        return self._handle
+
+    def _append_line(self, record: dict) -> None:
+        handle = self._handle
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def mark(self, key: str, label: str = "") -> None:
+        """Record one completed run (idempotent)."""
+        if key in self._completed:
+            return
+        self._open()
+        self._append_line({"key": key, "label": label})
+        self._completed[key] = label
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignManifest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queries ---------------------------------------------------------
+
+    def is_done(self, key: str) -> bool:
+        return key in self._completed
+
+    @property
+    def completed(self) -> Dict[str, str]:
+        """Completed key -> label map (copy)."""
+        return dict(self._completed)
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def summary(self) -> str:
+        state = "resumed" if self.resumed else "new"
+        note = (
+            f", {self.recovered_drops} torn line(s) recovered"
+            if self.recovered_drops
+            else ""
+        )
+        return f"campaign manifest {self.path} ({state}, {len(self)} complete{note})"

@@ -113,24 +113,40 @@ def fig07_characteristics(
 
 @dataclass
 class IpcRatioResult:
-    """IPC of an alternative config relative to a baseline, per workload."""
+    """IPC of an alternative config relative to a baseline, per workload.
+
+    A ``None`` ratio marks a workload whose run was abandoned by the
+    failure policy; the table shows ``n/a`` and footnotes the gap.
+    """
 
     title: str
     baseline_name: str
     alternative_name: str
-    ratios: Dict[str, float]  # workload -> alternative IPC / baseline IPC
+    ratios: Dict[str, Optional[float]]  # workload -> alt IPC / baseline IPC
     extras: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def missing(self) -> List[str]:
+        return [name for name, ratio in self.ratios.items() if ratio is None]
 
     def format_table(self) -> str:
         rows = [
-            (name, f"{ratio:.4f}", percent(ratio - 1.0, 2))
+            (name, "n/a", "n/a")
+            if ratio is None
+            else (name, f"{ratio:.4f}", percent(ratio - 1.0, 2))
             for name, ratio in self.ratios.items()
         ]
         table = format_table(
             ["workload", f"{self.alternative_name}/{self.baseline_name}", "delta"],
             rows,
         )
-        return f"{self.title}\n{table}"
+        rendered = f"{self.title}\n{table}"
+        if self.missing:
+            rendered += (
+                f"\npartial: {len(self.missing)} workload(s) skipped after "
+                f"repeated failures ({', '.join(self.missing)})"
+            )
+        return rendered
 
 
 def _ipc_ratio_study(
@@ -145,10 +161,13 @@ def _ipc_ratio_study(
     runner.prefetch(
         up=[(config, w) for config in (baseline, alternative) for w in workloads]
     )
-    ratios: Dict[str, float] = {}
+    ratios: Dict[str, Optional[float]] = {}
     for workload in workloads:
-        base_result = runner.run(baseline, workload)
-        alt_result = runner.run(alternative, workload)
+        base_result = runner.try_run(baseline, workload)
+        alt_result = runner.try_run(alternative, workload)
+        if base_result is None or alt_result is None:
+            ratios[workload.name] = None
+            continue
         ratios[workload.name] = (
             alt_result.ipc / base_result.ipc if base_result.ipc else 0.0
         )

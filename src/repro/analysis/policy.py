@@ -1,0 +1,86 @@
+"""Failure policy for campaign runs: timeouts, retries, backoff.
+
+A thousand-run campaign meets every failure mode eventually — a worker
+OOM-killed, a simulation wedged on a pathological input, a node paused
+by the scheduler.  :class:`RunPolicy` decides, per run, how long to
+wait, how often to retry, and what to do when the budget is spent:
+
+- ``retry`` (default) — after the worker-side retry budget is
+  exhausted, rerun once in the parent process (no timeout there; the
+  parent is observable and interruptible).
+- ``fail`` — raise :class:`~repro.common.errors.ExperimentError`
+  naming the run; the campaign aborts loudly.
+- ``skip`` — record the run as skipped and keep going; reports mark
+  the missing points (see ``SweepResult.missing``).
+
+Backoff between retries is exponential with deterministic jitter: the
+jitter is drawn from :class:`~repro.common.rng.DeterministicRng` seeded
+by (policy seed, run label, attempt), so two replays of a campaign
+sleep the same amounts — retries never make a run irreproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+
+#: Allowed ``on_failure`` values.
+FAILURE_POLICIES = ("retry", "fail", "skip")
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Per-run fault-handling knobs for :class:`ParallelRunner`."""
+
+    #: Wall-clock seconds a single worker-side run may take; ``None``
+    #: disables the watchdog entirely.
+    timeout: float | None = None
+    #: Worker-side attempts beyond the first (0 = never retry in a worker).
+    retries: int = 1
+    #: First backoff delay, in seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied per additional attempt.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff sleep.
+    backoff_max: float = 5.0
+    #: Jitter fraction in [0, 1]: each delay is scaled by a deterministic
+    #: draw from [1 - jitter, 1 + jitter].
+    jitter: float = 0.25
+    #: What to do once retries are exhausted: retry | fail | skip.
+    on_failure: str = "retry"
+    #: Seed for the deterministic jitter stream.
+    seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("policy timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ConfigError("policy retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+        if self.on_failure not in FAILURE_POLICIES:
+            raise ConfigError(
+                f"on_failure must be one of {', '.join(FAILURE_POLICIES)}; "
+                f"got {self.on_failure!r}"
+            )
+
+    def backoff_delay(self, label: str, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based) of ``label``."""
+        if attempt < 1 or self.backoff_base == 0:
+            return 0.0
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if self.jitter > 0:
+            site = f"{label}|{attempt}".encode("utf-8")
+            rng = DeterministicRng(self.seed).fork(zlib.crc32(site))
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return min(delay, self.backoff_max)

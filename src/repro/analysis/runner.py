@@ -18,18 +18,30 @@ parameter cannot alias.
 - **observability**: per-run wall-clock, worker id, and hit/miss
   counters, with a ``verbose`` progress line per event;
 - **graceful degradation**: a crashed worker or corrupt cache entry
-  falls back to a fresh in-process run instead of aborting the sweep.
+  falls back to a fresh in-process run instead of aborting the sweep;
+- **fault tolerance**: a :class:`~repro.analysis.policy.RunPolicy`
+  adds per-run wall-clock timeouts with a watchdog that kills and
+  respawns a hung worker pool, bounded retries with deterministic
+  jittered backoff, and a configurable last-resort policy
+  (``retry`` in-process / ``fail`` loudly / ``skip`` and record);
+- **resume**: an optional
+  :class:`~repro.analysis.campaign.CampaignManifest` records every
+  completed (config, workload) key, so an interrupted campaign
+  restarted with the same manifest reports exactly what remains.
 
 Determinism: the simulation depends only on (config, trace) and every
 trace is regenerated in the worker from an explicit seed
 (:mod:`repro.common.rng`), so serial and parallel execution produce
-bit-identical statistics regardless of worker scheduling.
+bit-identical statistics regardless of worker scheduling — and
+regardless of retries, because a retried run is the same pure function
+re-evaluated.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -37,10 +49,14 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.cache import ResultCache
+from repro.analysis.campaign import CampaignManifest
+from repro.analysis.policy import RunPolicy
 from repro.analysis.workloads import Workload
+from repro.common import faults
+from repro.common.errors import ExperimentError
 from repro.model.config import MachineConfig
 from repro.model.simulator import PerformanceModel
 from repro.model.stats import SimResult
@@ -90,17 +106,21 @@ def _memoised_workload(workload: Workload) -> Workload:
     return workload
 
 
-def _up_worker(config: MachineConfig, workload: Workload) -> Tuple[dict, int, float]:
+def _up_worker(
+    config: MachineConfig, workload: Workload, attempt: int = 0
+) -> Tuple[dict, int, float]:
     """Worker entry point: returns (result dict, worker pid, seconds)."""
+    faults.worker_fault(f"{workload.name}@{config.name}", attempt)
     started = time.perf_counter()
     result = _run_up(config, _memoised_workload(workload))
     return result.to_dict(), os.getpid(), time.perf_counter() - started
 
 
 def _smp_worker(
-    config: MachineConfig, workload: Workload, cpu_count: int
+    config: MachineConfig, workload: Workload, cpu_count: int, attempt: int = 0
 ) -> Tuple[dict, int, float]:
     """Worker entry point for SMP runs."""
+    faults.worker_fault(f"{workload.name}x{cpu_count}P@{config.name}", attempt)
     started = time.perf_counter()
     result = _run_smp(config, _memoised_workload(workload), cpu_count)
     return result.to_dict(), os.getpid(), time.perf_counter() - started
@@ -116,6 +136,14 @@ class RunnerStats:
     runs_in_process: int = 0
     runs_in_workers: int = 0
     worker_fallbacks: int = 0
+    #: Worker-side re-submissions after a failure or timeout.
+    retries: int = 0
+    #: Runs whose wall-clock watchdog expired.
+    timeouts: int = 0
+    #: Times the hung/broken worker pool was killed and respawned.
+    pool_restarts: int = 0
+    #: Labels abandoned under the ``skip`` failure policy.
+    skipped: List[str] = field(default_factory=list)
     total_run_seconds: float = 0.0
     #: (label, seconds, worker pid or None) per executed simulation.
     timings: List[Tuple[str, float, Optional[int]]] = field(default_factory=list)
@@ -136,6 +164,10 @@ class RunnerStats:
             "runs_in_process": self.runs_in_process,
             "runs_in_workers": self.runs_in_workers,
             "worker_fallbacks": self.worker_fallbacks,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "skipped": list(self.skipped),
             "total_run_seconds": round(self.total_run_seconds, 3),
         }
 
@@ -235,6 +267,23 @@ class ExperimentRunner:
     ) -> None:
         """Hint that these runs are coming.  Serial runner: no-op (lazy)."""
 
+    def try_run(
+        self, config: MachineConfig, workload: Workload
+    ) -> Optional[SimResult]:
+        """Like :meth:`run`, but ``None`` for a run abandoned by policy.
+
+        The serial runner never abandons a run, so this is plain
+        :meth:`run`; sweeps call it so the same code renders partial
+        tables when a parallel runner skipped points.
+        """
+        return self.run(config, workload)
+
+    def try_run_smp(
+        self, config: MachineConfig, workload: Workload, cpu_count: int
+    ) -> Optional[SmpResult]:
+        """SMP counterpart of :meth:`try_run`."""
+        return self.run_smp(config, workload, cpu_count)
+
     def cached_results(self) -> Dict[Tuple[str, str], SimResult]:
         """All uniprocessor results produced so far."""
         return dict(self._up_cache)
@@ -248,6 +297,10 @@ class ParallelRunner(ExperimentRunner):
     in-process (one simulation cannot be split), so figure and sweep
     code prefetches its whole (config × workload) matrix first and then
     reads results back through the ordinary serial interface.
+
+    ``policy`` governs failure handling for worker runs (timeouts,
+    retries, backoff; see :class:`~repro.analysis.policy.RunPolicy`);
+    ``manifest`` records completed keys for resumable campaigns.
     """
 
     def __init__(
@@ -256,12 +309,18 @@ class ParallelRunner(ExperimentRunner):
         verbose: bool = False,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
+        policy: Optional[RunPolicy] = None,
+        manifest: Optional[CampaignManifest] = None,
     ) -> None:
         super().__init__(verbose=verbose)
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if use_cache else None
+        self.policy = policy or RunPolicy()
+        self.manifest = manifest
+        #: Keys abandoned under the ``skip`` failure policy.
+        self._skipped: Set[Tuple[str, Tuple]] = set()
         #: Lazily created, reused across prefetch batches; workers stay
         #: warm (their workload/trace memos survive between figures).
         self._executor: Optional[ProcessPoolExecutor] = None
@@ -271,10 +330,32 @@ class ParallelRunner(ExperimentRunner):
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
         return self._executor
 
-    def _discard_pool(self) -> None:
+    def _discard_pool(self) -> bool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+            return True
+        return False
+
+    def _kill_pool(self) -> None:
+        """Watchdog action: hard-kill every worker, then drop the pool.
+
+        ``shutdown`` alone cannot reclaim a *hung* worker — it only
+        stops feeding new work — so the watchdog kills the processes
+        first and lets the next batch build a fresh pool.
+        """
+        executor = self._executor
+        if executor is None:
+            return
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 - already-dead workers
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+        self.stats.pool_restarts += 1
 
     def close(self) -> None:
         """Shut the worker pool down (also safe to never call)."""
@@ -335,6 +416,53 @@ class ParallelRunner(ExperimentRunner):
                 },
             )
 
+    # -- campaign bookkeeping --------------------------------------------
+
+    def _mark_complete(self, kind: str, key: Tuple, label: str) -> None:
+        if self.manifest is not None:
+            self.manifest.mark(self.manifest.key(kind, *key), label)
+
+    # -- skip policy -----------------------------------------------------
+
+    def _is_skipped(self, kind: str, key: Tuple) -> bool:
+        return (kind, key) in self._skipped
+
+    def run(self, config: MachineConfig, workload: Workload) -> SimResult:
+        key = self._up_key(config, workload)
+        if self._is_skipped("up", key):
+            raise ExperimentError(
+                f"{workload.name}@{config.name} was abandoned after repeated "
+                f"failures (policy on_failure=skip); use try_run() to render "
+                f"partial results"
+            )
+        return super().run(config, workload)
+
+    def run_smp(
+        self, config: MachineConfig, workload: Workload, cpu_count: int
+    ) -> SmpResult:
+        key = self._smp_key(config, workload, cpu_count)
+        if self._is_skipped("smp", key):
+            raise ExperimentError(
+                f"{workload.name}x{cpu_count}P@{config.name} was abandoned "
+                f"after repeated failures (policy on_failure=skip); use "
+                f"try_run_smp() to render partial results"
+            )
+        return super().run_smp(config, workload, cpu_count)
+
+    def try_run(
+        self, config: MachineConfig, workload: Workload
+    ) -> Optional[SimResult]:
+        if self._is_skipped("up", self._up_key(config, workload)):
+            return None
+        return super().run(config, workload)
+
+    def try_run_smp(
+        self, config: MachineConfig, workload: Workload, cpu_count: int
+    ) -> Optional[SmpResult]:
+        if self._is_skipped("smp", self._smp_key(config, workload, cpu_count)):
+            return None
+        return super().run_smp(config, workload, cpu_count)
+
     # -- serial-path overrides (memo miss) -------------------------------
 
     def _fetch_up(
@@ -344,9 +472,11 @@ class ParallelRunner(ExperimentRunner):
         if cached is not None:
             self.stats.disk_hits += 1
             self._log(f"  [cache] {workload.name} on {config.name}")
+            self._mark_complete("up", key, f"{workload.name}@{config.name}")
             return cached
         result = super()._fetch_up(key, config, workload)
         self._disk_store_up(key, result, workload)
+        self._mark_complete("up", key, f"{workload.name}@{config.name}")
         return result
 
     def _fetch_smp(
@@ -360,9 +490,13 @@ class ParallelRunner(ExperimentRunner):
         if cached is not None:
             self.stats.disk_hits += 1
             self._log(f"  [cache] {workload.name} x{cpu_count}P on {config.name}")
+            self._mark_complete(
+                "smp", key, f"{workload.name}x{cpu_count}P@{config.name}"
+            )
             return cached
         result = super()._fetch_smp(key, config, workload, cpu_count)
         self._disk_store_smp(key, result, workload)
+        self._mark_complete("smp", key, f"{workload.name}x{cpu_count}P@{config.name}")
         return result
 
     # -- parallel fan-out ------------------------------------------------
@@ -376,8 +510,9 @@ class ParallelRunner(ExperimentRunner):
 
         Requests already satisfied by the in-memory memo or the disk
         cache are skipped; the rest fan out over ``jobs`` processes.
-        Each worker failure degrades to an in-process rerun of that one
-        request, so a crash never loses the whole batch.
+        Worker failures and timeouts are retried with backoff up to the
+        policy's budget, then handled per ``policy.on_failure``; a
+        single crash or hang never loses the whole batch.
         """
         pending_up: List[Tuple[Tuple[str, str], MachineConfig, Workload]] = []
         seen_keys = set()
@@ -385,10 +520,13 @@ class ParallelRunner(ExperimentRunner):
             key = self._up_key(config, workload)
             if key in seen_keys or key in self._up_cache:
                 continue
+            if self._is_skipped("up", key):
+                continue
             cached = self._disk_load_up(key)
             if cached is not None:
                 self.stats.disk_hits += 1
                 self._up_cache[key] = cached
+                self._mark_complete("up", key, f"{workload.name}@{config.name}")
                 continue
             seen_keys.add(key)
             pending_up.append((key, config, workload))
@@ -400,10 +538,15 @@ class ParallelRunner(ExperimentRunner):
             key = self._smp_key(config, workload, cpu_count)
             if key in seen_keys or key in self._smp_cache:
                 continue
+            if self._is_skipped("smp", key):
+                continue
             cached = self._disk_load_smp(key)
             if cached is not None:
                 self.stats.disk_hits += 1
                 self._smp_cache[key] = cached
+                self._mark_complete(
+                    "smp", key, f"{workload.name}x{cpu_count}P@{config.name}"
+                )
                 continue
             seen_keys.add(key)
             pending_smp.append((key, config, workload, cpu_count))
@@ -431,6 +574,7 @@ class ParallelRunner(ExperimentRunner):
             )
             self._up_cache[key] = result
             self._disk_store_up(key, result, workload)
+            self._mark_complete("up", key, f"{workload.name}@{config.name}")
         for key, config, workload, cpu_count in pending_smp:
             self._log(f"  running {workload.name} x{cpu_count}P on {config.name} ...")
             started = time.perf_counter()
@@ -442,36 +586,117 @@ class ParallelRunner(ExperimentRunner):
             )
             self._smp_cache[key] = result
             self._disk_store_smp(key, result, workload)
+            self._mark_complete(
+                "smp", key, f"{workload.name}x{cpu_count}P@{config.name}"
+            )
+
+    @staticmethod
+    def _label(kind: str, item) -> str:
+        if kind == "up":
+            _, config, workload = item
+            return f"{workload.name}@{config.name}"
+        _, config, workload, cpu_count = item
+        return f"{workload.name}x{cpu_count}P@{config.name}"
+
+    def _submit(self, pool: ProcessPoolExecutor, kind: str, item, attempt: int):
+        if kind == "up":
+            _, config, workload = item
+            return pool.submit(_up_worker, config, workload, attempt)
+        _, config, workload, cpu_count = item
+        return pool.submit(_smp_worker, config, workload, cpu_count, attempt)
 
     def _run_pending_pool(self, pending_up, pending_smp) -> None:
-        """Fan pending runs out over a worker pool, falling back per-run."""
+        """Fan pending runs out over a worker pool, with fault tolerance.
+
+        At most ``jobs`` requests are in flight at a time, so the
+        per-run wall-clock watchdog measures execution, not queueing.
+        A worker failure charges that run one attempt and re-submits it
+        (after deterministic jittered backoff) until the policy's retry
+        budget is spent; a watchdog expiry additionally kills and
+        respawns the pool, because a hung worker cannot be cancelled.
+        Requests that were merely in flight on a pool that had to be
+        killed are re-queued without being charged an attempt.
+        """
         total = len(pending_up) + len(pending_smp)
         self._log(f"  fanning {total} runs out over {self.jobs} workers ...")
-        futures = {}
+        queue: Deque[Tuple[str, Tuple, int]] = deque(
+            [("up", item, 0) for item in pending_up]
+            + [("smp", item, 0) for item in pending_smp]
+        )
+        #: future -> (kind, item, attempt, deadline or None)
+        inflight: Dict[object, Tuple[str, Tuple, int, Optional[float]]] = {}
         done_count = 0
         try:
-            pool = self._pool()
-            for item in pending_up:
-                key, config, workload = item
-                futures[pool.submit(_up_worker, config, workload)] = ("up", item)
-            for item in pending_smp:
-                key, config, workload, cpu_count = item
-                futures[pool.submit(_smp_worker, config, workload, cpu_count)] = (
-                    "smp",
-                    item,
+            while queue or inflight:
+                while queue and len(inflight) < self.jobs:
+                    kind, item, attempt = queue.popleft()
+                    future = self._submit(self._pool(), kind, item, attempt)
+                    deadline = (
+                        time.monotonic() + self.policy.timeout
+                        if self.policy.timeout
+                        else None
+                    )
+                    inflight[future] = (kind, item, attempt, deadline)
+
+                deadlines = [
+                    meta[3] for meta in inflight.values() if meta[3] is not None
+                ]
+                wait_timeout = (
+                    max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
                 )
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                finished, _ = wait(
+                    set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
                 for future in finished:
-                    kind, item = futures[future]
-                    done_count += 1
+                    kind, item, attempt, _deadline = inflight.pop(future)
                     try:
                         payload, pid, seconds = future.result()
                     except Exception as error:  # noqa: BLE001
-                        self._recover(kind, item, error)
+                        self._handle_failure(kind, item, attempt, error, queue)
                         continue
+                    done_count += 1
                     self._install(kind, item, payload, pid, seconds, done_count, total)
+
+                if finished:
+                    continue
+
+                # Nothing completed before the nearest deadline: check
+                # for expired runs and, if any, assume their workers are
+                # hung — kill the pool and re-drive everything.
+                now = time.monotonic()
+                expired = [
+                    (future, meta)
+                    for future, meta in inflight.items()
+                    if meta[3] is not None and meta[3] <= now
+                ]
+                if not expired:
+                    continue
+                self._kill_pool()
+                for future, (kind, item, attempt, deadline) in list(inflight.items()):
+                    is_expired = deadline is not None and deadline <= now
+                    if is_expired:
+                        self.stats.timeouts += 1
+                        self._log(
+                            f"  watchdog: {self._label(kind, item)} exceeded "
+                            f"{self.policy.timeout:.1f}s; killing worker pool"
+                        )
+                        self._handle_failure(
+                            kind,
+                            item,
+                            attempt,
+                            TimeoutError(
+                                f"run exceeded {self.policy.timeout}s wall-clock"
+                            ),
+                            queue,
+                        )
+                    else:
+                        # Collateral of the pool kill: not this run's
+                        # fault, so its attempt budget is untouched.
+                        queue.append((kind, item, attempt))
+                inflight.clear()
+        except ExperimentError:
+            raise
         except Exception as error:  # noqa: BLE001
             # Pool-level failure (e.g. the executor itself cannot start,
             # or it broke mid-batch): discard it and rerun whatever was
@@ -479,13 +704,56 @@ class ParallelRunner(ExperimentRunner):
             self._discard_pool()
             self._log(f"  worker pool failed ({error!r}); completing in-process")
             leftovers_up = [
-                item for item in pending_up if item[0] not in self._up_cache
+                item for item in pending_up
+                if item[0] not in self._up_cache
+                and not self._is_skipped("up", item[0])
             ]
             leftovers_smp = [
-                item for item in pending_smp if item[0] not in self._smp_cache
+                item for item in pending_smp
+                if item[0] not in self._smp_cache
+                and not self._is_skipped("smp", item[0])
             ]
             self.stats.worker_fallbacks += len(leftovers_up) + len(leftovers_smp)
             self._run_pending_inline(leftovers_up, leftovers_smp)
+
+    def _handle_failure(self, kind, item, attempt, error, queue) -> None:
+        """One run failed (crash, raise, or timeout): retry or give up."""
+        label = self._label(kind, item)
+        if isinstance(error, BrokenExecutor):
+            # A dead pool stays dead; drop it so the next submission
+            # builds a fresh one.
+            if self._discard_pool():
+                self.stats.pool_restarts += 1
+        next_attempt = attempt + 1
+        if next_attempt <= self.policy.retries:
+            self.stats.retries += 1
+            delay = self.policy.backoff_delay(label, next_attempt)
+            self._log(
+                f"  worker failed on {label} ({error!r}); retry "
+                f"{next_attempt}/{self.policy.retries} after {delay:.2f}s"
+            )
+            if delay > 0:
+                time.sleep(delay)
+            queue.append((kind, item, next_attempt))
+            return
+        # Retry budget exhausted: apply the policy.
+        if self.policy.on_failure == "fail":
+            raise ExperimentError(
+                f"{label} failed after {next_attempt} attempts: {error!r}"
+            ) from (error if isinstance(error, BaseException) else None)
+        if self.policy.on_failure == "skip":
+            self.stats.skipped.append(label)
+            self._skipped.add((kind, item[0]))
+            self._log(f"  giving up on {label} ({error!r}); recorded as skipped")
+            return
+        # Default policy: last-resort rerun in the parent process, which
+        # is observable and interruptible (no timeout applies there).
+        self.stats.worker_fallbacks += 1
+        self._log(f"  worker failed on {label} ({error!r}); rerunning in-process")
+        if kind == "up":
+            self._run_pending_inline([item], [])
+        else:
+            self._run_pending_inline([], [item])
 
     def _install(
         self, kind, item, payload, pid, seconds, done_count, total
@@ -496,38 +764,19 @@ class ParallelRunner(ExperimentRunner):
             label = f"{workload.name}@{config.name}"
             self._up_cache[key] = result
             self._disk_store_up(key, result, workload)
+            self._mark_complete("up", key, label)
         else:
             key, config, workload, cpu_count = item
             result = SmpResult.from_dict(payload)
             label = f"{workload.name}x{cpu_count}P@{config.name}"
             self._smp_cache[key] = result
             self._disk_store_smp(key, result, workload)
+            self._mark_complete("smp", key, label)
         self.stats.record_run(label, seconds, pid)
         self._log(
             f"  [{done_count}/{total}] worker {pid} finished {label} "
             f"in {seconds:.2f}s"
         )
-
-    def _recover(self, kind, item, error) -> None:
-        """A worker died or raised: rerun this one request in-process."""
-        self.stats.worker_fallbacks += 1
-        if isinstance(error, BrokenExecutor):
-            # A dead pool stays dead; drop it so later batches rebuild one.
-            self._discard_pool()
-        if kind == "up":
-            key, config, workload = item
-            self._log(
-                f"  worker failed on {workload.name}@{config.name} "
-                f"({error!r}); rerunning in-process"
-            )
-            self._run_pending_inline([item], [])
-        else:
-            key, config, workload, cpu_count = item
-            self._log(
-                f"  worker failed on {workload.name}x{cpu_count}P@{config.name} "
-                f"({error!r}); rerunning in-process"
-            )
-            self._run_pending_inline([], [item])
 
     def summary(self) -> str:
         """One-line observability summary (cache + execution counters)."""
@@ -541,6 +790,14 @@ class ParallelRunner(ExperimentRunner):
             f"fallbacks {stats.worker_fallbacks}",
             f"sim time {stats.total_run_seconds:.1f}s",
         ]
+        if stats.retries:
+            parts.append(f"retries {stats.retries}")
+        if stats.timeouts:
+            parts.append(f"timeouts {stats.timeouts}")
+        if stats.pool_restarts:
+            parts.append(f"pool restarts {stats.pool_restarts}")
+        if stats.skipped:
+            parts.append(f"skipped {len(stats.skipped)}")
         if self.cache is not None:
             parts.append(f"cache corrupt {self.cache.stats.corrupt}")
         return ", ".join(parts)

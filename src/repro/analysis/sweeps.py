@@ -34,23 +34,42 @@ def _default_runner(jobs: int) -> ExperimentRunner:
 
 @dataclass
 class SweepResult:
-    """One sweep: axis label, points, and per-point measurements."""
+    """One sweep: axis label, points, and per-point measurements.
+
+    A point whose run was abandoned by the failure policy (``skip``)
+    carries ``None`` in every series and its label in :attr:`missing`;
+    the table renders it as ``n/a`` and footnotes the gap, so a partial
+    campaign is visibly partial instead of silently shorter.
+    """
 
     title: str
     axis: str
     points: List[object]
-    #: metric name -> one value per point
-    series: Dict[str, List[float]] = field(default_factory=dict)
+    #: metric name -> one value per point (None = run skipped).
+    series: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    #: Labels of points that were skipped after repeated failures.
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.missing)
 
     def format_table(self) -> str:
         headers = [self.axis] + list(self.series)
         rows = []
         for index, point in enumerate(self.points):
             row = [point] + [
-                f"{values[index]:.4f}" for values in self.series.values()
+                "n/a" if values[index] is None else f"{values[index]:.4f}"
+                for values in self.series.values()
             ]
             rows.append(row)
-        return f"{self.title}\n{format_table(headers, rows)}"
+        table = f"{self.title}\n{format_table(headers, rows)}"
+        if self.missing:
+            table += (
+                f"\npartial: {len(self.missing)} point(s) skipped after "
+                f"repeated failures ({', '.join(self.missing)})"
+            )
+        return table
 
 
 def l2_size_sweep(
@@ -73,10 +92,16 @@ def l2_size_sweep(
         for size in sizes_mb
     ]
     runner.prefetch(up=[(config, workload) for config in configs])
-    ipcs: List[float] = []
-    misses: List[float] = []
+    ipcs: List[Optional[float]] = []
+    misses: List[Optional[float]] = []
+    missing: List[str] = []
     for config in configs:
-        result = runner.run(config, workload)
+        result = runner.try_run(config, workload)
+        if result is None:
+            missing.append(f"{workload.name}@{config.name}")
+            ipcs.append(None)
+            misses.append(None)
+            continue
         ipcs.append(result.ipc)
         misses.append(result.miss_ratio("l2"))
     return SweepResult(
@@ -84,6 +109,7 @@ def l2_size_sweep(
         axis="L2 (MB)",
         points=list(sizes_mb),
         series={"IPC": ipcs, "L2 miss ratio": misses},
+        missing=missing,
     )
 
 
@@ -102,12 +128,18 @@ def window_size_sweep(
         for size in sizes
     ]
     runner.prefetch(up=[(config, workload) for config in configs])
-    ipcs = [runner.run(config, workload).ipc for config in configs]
+    results = [runner.try_run(config, workload) for config in configs]
+    missing = [
+        f"{workload.name}@{config.name}"
+        for config, result in zip(configs, results)
+        if result is None
+    ]
     return SweepResult(
         title=f"Instruction-window sweep on {workload.name}",
         axis="window",
         points=list(sizes),
-        series={"IPC": ipcs},
+        series={"IPC": [r.ipc if r is not None else None for r in results]},
+        missing=missing,
     )
 
 
@@ -130,10 +162,16 @@ def bht_size_sweep(
         for entries in entry_counts
     ]
     runner.prefetch(up=[(config, workload) for config in configs])
-    rates = []
-    ipcs = []
+    rates: List[Optional[float]] = []
+    ipcs: List[Optional[float]] = []
+    missing: List[str] = []
     for config in configs:
-        result = runner.run(config, workload)
+        result = runner.try_run(config, workload)
+        if result is None:
+            missing.append(f"{workload.name}@{config.name}")
+            rates.append(None)
+            ipcs.append(None)
+            continue
         rates.append(result.bht_misprediction_ratio)
         ipcs.append(result.ipc)
     return SweepResult(
@@ -141,6 +179,7 @@ def bht_size_sweep(
         axis="entries",
         points=list(entry_counts),
         series={"mispredict ratio": rates, "IPC": ipcs},
+        missing=missing,
     )
 
 
@@ -159,11 +198,18 @@ def smp_scaling_sweep(
         (smp_workload(cpus, warm=warm, timed=timed), cpus) for cpus in cpu_counts
     ]
     runner.prefetch(smp=[(config, workload, cpus) for workload, cpus in points])
-    system_ipcs = []
-    per_cpu_ipcs = []
-    move_out_rates = []
+    system_ipcs: List[Optional[float]] = []
+    per_cpu_ipcs: List[Optional[float]] = []
+    move_out_rates: List[Optional[float]] = []
+    missing: List[str] = []
     for workload, cpus in points:
-        result = runner.run_smp(config, workload, cpus)
+        result = runner.try_run_smp(config, workload, cpus)
+        if result is None:
+            missing.append(f"{workload.name}x{cpus}P@{config.name}")
+            system_ipcs.append(None)
+            per_cpu_ipcs.append(None)
+            move_out_rates.append(None)
+            continue
         system_ipcs.append(result.ipc)
         per_cpu_ipcs.append(result.per_cpu_ipc)
         move_out_rates.append(
@@ -178,4 +224,5 @@ def smp_scaling_sweep(
             "per-CPU IPC": per_cpu_ipcs,
             "move-outs/instr": move_out_rates,
         },
+        missing=missing,
     )

@@ -73,15 +73,43 @@ def _cmd_run(args: argparse.Namespace) -> None:
     print(result.summary())
 
 
-def _make_runner(args: argparse.Namespace):
+def _make_runner(args: argparse.Namespace, campaign: Optional[str] = None):
     """Build the runner the figures/sweeps commands share."""
     from repro.analysis import ParallelRunner
+    from repro.analysis.campaign import CampaignManifest
+    from repro.analysis.policy import RunPolicy
+    from repro.common import faults
+
+    if getattr(args, "inject_faults", None):
+        faults.install_spec(args.inject_faults)
+
+    policy = RunPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        on_failure=args.on_failure,
+    )
+
+    manifest = None
+    if getattr(args, "resume", False):
+        if args.no_cache:
+            raise SystemExit(
+                "--resume needs the persistent result cache; "
+                "drop --no-cache or drop --resume"
+            )
+        from repro.analysis import ResultCache
+
+        directory = ResultCache(args.cache_dir).directory
+        manifest = CampaignManifest(directory / f"campaign-{campaign or 'run'}.jsonl")
+        if not args.quiet:
+            print(manifest.summary())
 
     return ParallelRunner(
         jobs=args.jobs,
         verbose=not args.quiet,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        policy=policy,
+        manifest=manifest,
     )
 
 
@@ -109,6 +137,33 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--quiet", action="store_true",
         help="suppress per-run progress lines",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock limit for worker runs; a hung worker "
+             "pool is killed and respawned (default: no limit)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="worker-side retries per failed or timed-out run, with "
+             "exponential jittered backoff (default 1)",
+    )
+    parser.add_argument(
+        "--on-failure", choices=("retry", "fail", "skip"), default="retry",
+        help="after retries are spent: 'retry' reruns once in-process, "
+             "'fail' aborts the campaign, 'skip' records the run as "
+             "missing and marks reports partial (default retry)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="checkpoint completed runs in a campaign manifest under the "
+             "cache dir and resume an interrupted campaign from it",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection for testing, e.g. "
+             "'worker-hang,times=1,hang=30;cache-corrupt,times=1' "
+             "(see repro.common.faults)",
+    )
 
 
 def _cmd_figures(args: argparse.Namespace) -> None:
@@ -124,7 +179,7 @@ def _cmd_figures(args: argparse.Namespace) -> None:
     )
 
     workloads = standard_workloads(warm=args.warm, timed=args.timed)
-    runner = _make_runner(args)
+    runner = _make_runner(args, campaign=f"figures-{args.figure}")
     figure_map = {
         "7": lambda: fig07_characteristics(workloads, runner=runner),
         "8": lambda: fig08_issue_width(workloads, runner),
@@ -170,7 +225,7 @@ def _cmd_sweeps(args: argparse.Namespace) -> None:
         workload_by_name,
     )
 
-    runner = _make_runner(args)
+    runner = _make_runner(args, campaign=f"sweeps-{args.sweep}")
 
     def sized(name):
         return workload_by_name(name, warm=args.warm, timed=args.timed)

@@ -6,7 +6,10 @@ small event queue used by the bus and memory-controller models.
 """
 
 from repro.common.errors import (
+    CampaignError,
     ConfigError,
+    ExperimentError,
+    InjectedFault,
     ReproError,
     SimulationError,
     TraceError,
@@ -22,7 +25,10 @@ from repro.common.units import (
 )
 
 __all__ = [
+    "CampaignError",
     "ConfigError",
+    "ExperimentError",
+    "InjectedFault",
     "ReproError",
     "SimulationError",
     "TraceError",

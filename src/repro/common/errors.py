@@ -32,3 +32,33 @@ class VerificationError(ReproError):
     Used by :mod:`repro.verify` when the trace-driven model and the
     execution-driven logic simulator disagree.
     """
+
+
+class ExperimentError(ReproError):
+    """An experiment run failed permanently in the harness.
+
+    Raised by :class:`~repro.analysis.runner.ParallelRunner` when a run
+    exhausts its retry budget under the ``fail`` policy, or when a
+    result is requested for a run that the ``skip`` policy recorded as
+    abandoned.  The message always names the (workload, config) pair so
+    a campaign log points straight at the offending run.
+    """
+
+
+class CampaignError(ReproError):
+    """A sweep/figure campaign manifest is unusable.
+
+    Distinct from :class:`ExperimentError`: the runs themselves may be
+    fine, but the resume bookkeeping (manifest file) cannot be trusted —
+    e.g. it was written by an incompatible version.
+    """
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected fault (testing only).
+
+    Raised by :mod:`repro.common.faults` when a fault site is configured
+    to raise rather than crash or hang.  Deriving from
+    :class:`ReproError` lets recovery paths treat it exactly like a real
+    failure while tests can still assert on the specific type.
+    """

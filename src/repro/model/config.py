@@ -98,6 +98,57 @@ class MachineConfig:
     perfect_tlb: bool = False
     perfect_branch_prediction: bool = False
 
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Cross-component consistency checks.
+
+        Each component dataclass already rejects nonsense values in
+        isolation (non-power-of-two geometries, zero widths, negative
+        latencies); this catches combinations that are individually
+        legal but describe a machine that cannot exist — the class of
+        mistake a sweep generator makes when it scales one parameter
+        and forgets its neighbours.  Raises
+        :class:`~repro.common.errors.ConfigError` naming the config.
+        """
+        from repro.common.errors import ConfigError
+
+        def reject(message: str) -> None:
+            raise ConfigError(f"{self.name}: {message}")
+
+        for l1 in (self.l1i, self.l1d):
+            if self.l2.line_bytes % l1.line_bytes != 0:
+                reject(
+                    f"L2 line ({self.l2.line_bytes} B) must be a multiple of "
+                    f"{l1.name} line ({l1.line_bytes} B): refills would tear lines"
+                )
+            if self.l2.size_bytes < l1.size_bytes:
+                reject(
+                    f"L2 ({self.l2.size_bytes} B) smaller than {l1.name} "
+                    f"({l1.size_bytes} B): inclusion is impossible"
+                )
+            if self.l2.hit_latency < l1.hit_latency:
+                reject(
+                    f"L2 hit ({self.l2.hit_latency} cy) faster than {l1.name} "
+                    f"hit ({l1.hit_latency} cy): hierarchy is inverted"
+                )
+        if self.memory.latency <= self.l2.hit_latency:
+            reject(
+                f"memory latency ({self.memory.latency} cy) must exceed the "
+                f"L2 hit latency ({self.l2.hit_latency} cy)"
+            )
+        if self.frontend.fetch_width < self.core.issue_width:
+            reject(
+                f"fetch width ({self.frontend.fetch_width}) below issue width "
+                f"({self.core.issue_width}): the front-end can never feed the core"
+            )
+        if self.core.commit_width > self.core.window_size:
+            reject(
+                f"commit width ({self.core.commit_width}) exceeds the "
+                f"instruction window ({self.core.window_size})"
+            )
+
     def derived(self, name: str, **changes) -> "MachineConfig":
         """Copy with the given fields replaced and a new name."""
         return replace(self, name=name, **changes)

@@ -1,0 +1,123 @@
+"""Unit tests for :class:`repro.analysis.campaign.CampaignManifest`.
+
+The manifest's whole job is to survive exactly the failures that
+interrupt campaigns: a kill mid-append, a simulator upgrade between
+sessions, stray garbage in the file.  Each property documented in the
+module docstring gets a test here.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import MANIFEST_FORMAT, CampaignManifest
+from repro.common.errors import CampaignError
+
+
+def _manifest(tmp_path, **kwargs):
+    return CampaignManifest(tmp_path / "campaign.jsonl", code_hash="deadbeef", **kwargs)
+
+
+class TestBasics:
+    def test_fresh_manifest_is_empty(self, tmp_path):
+        manifest = _manifest(tmp_path)
+        assert len(manifest) == 0
+        assert not manifest.resumed
+        assert not manifest.is_done("anything")
+
+    def test_mark_and_reload(self, tmp_path):
+        with _manifest(tmp_path) as manifest:
+            key = manifest.key("up", "cfg-hash", "wl-key")
+            manifest.mark(key, "SPECint95@SPARC64-V")
+
+        reloaded = _manifest(tmp_path)
+        assert reloaded.resumed
+        assert len(reloaded) == 1
+        assert reloaded.is_done(key)
+        assert reloaded.completed[key] == "SPECint95@SPARC64-V"
+
+    def test_mark_is_idempotent(self, tmp_path):
+        with _manifest(tmp_path) as manifest:
+            key = manifest.key("up", "a", "b")
+            manifest.mark(key, "x")
+            manifest.mark(key, "x")
+        lines = (tmp_path / "campaign.jsonl").read_text().splitlines()
+        assert len(lines) == 2  # header + one record, not two
+
+    def test_keys_are_deterministic_and_distinct(self, tmp_path):
+        manifest = _manifest(tmp_path)
+        assert manifest.key("up", "a", "b") == manifest.key("up", "a", "b")
+        assert manifest.key("up", "a", "b") != manifest.key("smp", "a", "b")
+        assert manifest.key("up", "a", "b") != manifest.key("up", "a", "c")
+        # The separator keeps ("ab", "c") and ("a", "bc") apart.
+        assert manifest.key("up", "ab", "c") != manifest.key("up", "a", "bc")
+
+    def test_summary_mentions_state(self, tmp_path):
+        manifest = _manifest(tmp_path)
+        assert "new" in manifest.summary()
+        with manifest:
+            manifest.mark(manifest.key("up", "a"), "a")
+        assert "resumed" in _manifest(tmp_path).summary()
+
+
+class TestCrashRecovery:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        """A crash mid-append leaves a partial line; load must shrug."""
+        with _manifest(tmp_path) as manifest:
+            done = manifest.key("up", "done")
+            manifest.mark(done, "done-run")
+        path = tmp_path / "campaign.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "abcd1234", "lab')  # no newline, no close
+
+        reloaded = _manifest(tmp_path)
+        assert reloaded.is_done(done)
+        assert not reloaded.is_done("abcd1234")
+        assert reloaded.recovered_drops == 1
+        assert "torn" in reloaded.summary()
+
+    def test_next_append_after_torn_line_still_parses(self, tmp_path):
+        with _manifest(tmp_path) as manifest:
+            manifest.mark(manifest.key("up", "one"), "one")
+        path = tmp_path / "campaign.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn')
+        recovered = _manifest(tmp_path)
+        with recovered:
+            two = recovered.key("up", "two")
+            recovered.mark(two, "two")
+        final = _manifest(tmp_path)
+        assert final.is_done(two)
+
+
+class TestQuarantine:
+    def test_code_version_mismatch_sets_manifest_aside(self, tmp_path):
+        with _manifest(tmp_path) as manifest:
+            manifest.mark(manifest.key("up", "old"), "old-run")
+        other = CampaignManifest(tmp_path / "campaign.jsonl", code_hash="cafebabe")
+        assert len(other) == 0  # stale results are not trusted
+        stale = tmp_path / "campaign.jsonl.stale"
+        assert stale.exists()
+        header = json.loads(stale.read_text().splitlines()[0])
+        assert header["code"] == "deadbeef"
+
+    def test_garbage_header_is_quarantined(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text("this is not a manifest\n")
+        manifest = CampaignManifest(path, code_hash="deadbeef")
+        assert len(manifest) == 0
+        assert path.with_suffix(".jsonl.stale").exists()
+
+    def test_strict_mode_raises_instead(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text("garbage\n")
+        with pytest.raises(CampaignError, match="unrecognised header"):
+            CampaignManifest(path, code_hash="deadbeef", strict=True)
+
+    def test_format_bump_is_treated_as_unrecognised(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text(
+            json.dumps({"campaign": MANIFEST_FORMAT + 1, "code": "deadbeef"}) + "\n"
+        )
+        manifest = CampaignManifest(path, code_hash="deadbeef")
+        assert len(manifest) == 0

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.common.errors import ConfigError
 from repro.common.units import ns_to_cycles
+from repro.memory.params import CacheGeometry, MemoryParams
 from repro.model.config import (
     OFF_CHIP_EXTRA_CYCLES,
     base_config,
@@ -124,3 +126,74 @@ class TestVariants:
         l1_32k_1w_3c(base)
         assert base.core.issue_width == 4
         assert base.l1i.size_bytes == 128 * 1024
+
+
+class TestValidation:
+    """Cross-component checks reject machines that cannot exist.
+
+    Each test drives exactly one rejection through ``derived()`` so
+    the error message — which must name the config — is also checked.
+    """
+
+    def test_all_factories_validate(self):
+        for factory in (
+            base_config,
+            issue_2way,
+            bht_4k_2w_1t,
+            l1_32k_1w_3c,
+            l2_off_8m_2w,
+            l2_off_8m_1w,
+            prefetch_off,
+            one_rs,
+        ):
+            factory()  # __post_init__ runs validate(); must not raise
+
+    def test_l2_line_must_cover_l1_line(self):
+        base = base_config()
+        with pytest.raises(ConfigError, match="broken-lines.*multiple"):
+            base.derived(
+                "broken-lines",
+                l1d=base.l1d.scaled(name="L1D-wide", line_bytes=128),
+            )
+
+    def test_l2_must_be_at_least_l1_sized(self):
+        base = base_config()
+        with pytest.raises(ConfigError, match="tiny-l2.*inclusion"):
+            base.derived(
+                "tiny-l2",
+                l2=base.l2.scaled(name="L2-64k", size_bytes=64 * 1024),
+            )
+
+    def test_l2_cannot_be_faster_than_l1(self):
+        base = base_config()
+        with pytest.raises(ConfigError, match="fast-l2.*inverted"):
+            base.derived(
+                "fast-l2",
+                l2=base.l2.scaled(name="L2-fast", hit_latency=2),
+            )
+
+    def test_memory_slower_than_l2(self):
+        base = base_config()
+        with pytest.raises(ConfigError, match="fast-mem.*memory latency"):
+            base.derived("fast-mem", memory=MemoryParams(latency=5))
+
+    def test_fetch_must_feed_issue(self):
+        base = base_config()
+        with pytest.raises(ConfigError, match="starved.*fetch width"):
+            base.derived("starved", core=base.core.derived(issue_width=16))
+
+    def test_commit_within_window(self):
+        base = base_config()
+        with pytest.raises(ConfigError, match="wide-commit.*window"):
+            base.derived(
+                "wide-commit",
+                core=base.core.derived(window_size=8, commit_width=16),
+            )
+
+    def test_component_errors_still_surface(self):
+        # Per-component __post_init__ checks fire before the
+        # cross-component pass and keep their own messages.
+        with pytest.raises(ConfigError, match="line_bytes"):
+            CacheGeometry("bad", 64 * 1024, 2, line_bytes=48)
+        with pytest.raises(ConfigError, match="positive"):
+            CacheGeometry("bad", 0, 2)
