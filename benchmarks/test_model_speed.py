@@ -3,16 +3,25 @@
 The paper's C model ran a multi-user interactive (TPC-C) trace at
 7.8 K instructions/second on a 1 GHz Pentium III.  This benchmark
 measures the Python model's speed on the same kind of workload —
-documenting the cost of the reproduction substrate.
+documenting the cost of the reproduction substrate — and guards the
+observability layer: throughput with event tracing off vs on is
+recorded in ``BENCH_observability.json`` so a PR that slows the
+default (untraced) path shows up as a number, not a feeling.
 """
+
+import json
+import pathlib
 
 import conftest
 
 from repro.analysis.workloads import tpcc_workload
 from repro.model.config import base_config
 from repro.model.simulator import PerformanceModel
+from repro.observe import PipelineTracer
 
 PAPER_MODEL_SPEED_IPS = 7_800
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_observability.json"
 
 
 def test_model_simulation_speed(benchmark):
@@ -38,3 +47,58 @@ def test_model_simulation_speed(benchmark):
         f"(paper's C model: {PAPER_MODEL_SPEED_IPS:,} on a 1 GHz P-III)"
     )
     assert result.sim_speed > 1_000  # sanity floor
+
+
+def test_observability_overhead(benchmark):
+    """Throughput with event tracing off vs on, recorded to JSON.
+
+    The CPI-stack accountant is always on (it is part of the model's
+    output contract), so the "disabled" leg here is the default
+    production path: no tracer attached, every ``tracer.emit`` guarded
+    out.  The "enabled" leg attaches a ring-mode tracer, the cheapest
+    always-recording configuration.  Both numbers land in
+    ``BENCH_observability.json`` for cross-commit comparison.
+    """
+    workload = tpcc_workload(
+        warm=max(8_000, int(20_000 * conftest.SCALE)),
+        timed=max(4_000, int(8_000 * conftest.SCALE)),
+    )
+    trace = workload.trace()
+    regions = workload.regions()
+    model = PerformanceModel(base_config())
+    kwargs = dict(warmup_fraction=workload.warmup_fraction, regions=regions)
+
+    speeds = {}
+
+    def run_both():
+        # Interleaved legs share any OS-level warmup/jitter evenly.
+        plain = model.run(trace, **kwargs)
+        traced = model.run(trace, tracer=PipelineTracer(capacity=4_096), **kwargs)
+        speeds["disabled"] = plain.sim_speed
+        speeds["enabled"] = traced.sim_speed
+        speeds["instructions"] = plain.instructions
+        assert plain.as_dict(include_speed=False) == traced.as_dict(
+            include_speed=False
+        )  # tracing must never change the numbers
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    overhead = 1.0 - speeds["enabled"] / speeds["disabled"]
+    payload = {
+        "workload": workload.name,
+        "instructions_timed": speeds["instructions"],
+        "throughput_ips": {
+            "tracing_disabled": round(speeds["disabled"], 1),
+            "tracing_enabled": round(speeds["enabled"], 1),
+        },
+        "tracing_overhead_fraction": round(overhead, 4),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nObservability overhead: tracing off {speeds['disabled']:,.0f} ips, "
+        f"on {speeds['enabled']:,.0f} ips ({overhead:+.1%}); "
+        f"recorded in {BENCH_JSON.name}"
+    )
+    # Ring-mode tracing is per-event dict-free appends; anything past
+    # 60% means emit moved onto a hot path unconditionally.
+    assert overhead < 0.60

@@ -18,6 +18,8 @@ from repro.analysis.campaign import CampaignManifest
 from repro.analysis.policy import RunPolicy
 from repro.analysis.runner import ExperimentRunner, ParallelRunner, RunnerStats
 from repro.analysis.figures import (
+    CpiStackResult,
+    fig_cpistack,
     fig07_characteristics,
     fig08_issue_width,
     fig09_10_bht,
@@ -47,6 +49,8 @@ __all__ = [
     "RunPolicy",
     "CampaignManifest",
     "ResultCache",
+    "CpiStackResult",
+    "fig_cpistack",
     "fig07_characteristics",
     "fig08_issue_width",
     "fig09_10_bht",

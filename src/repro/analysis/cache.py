@@ -150,6 +150,35 @@ class ResultCache:
             raise
         self.stats.stores += 1
 
+    # -- inspection ------------------------------------------------------
+
+    def scan(self, current_code_only: bool = True):
+        """Yield ``(meta, payload)`` for every readable entry on disk.
+
+        Powers ``repro analyze cpistack``: render cached results without
+        re-simulating.  Unreadable entries are skipped silently (load()
+        owns corruption handling); with ``current_code_only`` entries
+        written by a different simulator version are skipped too.
+        """
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(envelope, dict):
+                continue
+            if envelope.get("format") != CACHE_FORMAT:
+                continue
+            if current_code_only and envelope.get("code") != self.code_hash:
+                continue
+            payload = envelope.get("payload")
+            meta = envelope.get("meta")
+            if not isinstance(payload, dict):
+                continue
+            yield (meta if isinstance(meta, dict) else {}), payload
+
     # -- maintenance -----------------------------------------------------
 
     def entries(self) -> int:

@@ -38,6 +38,7 @@ from repro.model.perfect import (
     breakdown_from_cycles,
     perfect_variants,
 )
+from repro.observe.cpistack import render_stack_table
 
 #: Paper statements used for shape checks (values from §4 text).
 PAPER_FIG7_TPCC_SX = 0.35  # TPC-C spends 35% of time on L2-miss stalls
@@ -104,6 +105,54 @@ def fig07_characteristics(
         breakdown = breakdown_from_cycles(workload.name, *cycles)
         breakdowns.append(breakdown)
     return Fig07Result(breakdowns)
+
+
+# ---------------------------------------------------------------------------
+# Measured CPI stacks (the cycle-attribution companion to Figure 7).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CpiStackResult:
+    """Measured per-workload CPI stacks from the cycle accountant.
+
+    Figure 7 derives its breakdown from perfect-structure model *deltas*;
+    this is the same question answered by direct attribution — every
+    simulated cycle charged to one stall category, conserving the total.
+    Both tables are printed so the two methodologies can be compared.
+    """
+
+    stacks: Dict[str, Dict[str, int]]  # row label -> category -> cycles
+    cycles: Dict[str, int]
+
+    def format_table(self) -> str:
+        fine = render_stack_table(self.stacks)
+        fig7 = render_stack_table(self.stacks, fig7=True)
+        return (
+            "measured CPI stacks (fraction of cycles):\n"
+            f"{fine}\n\n"
+            "collapsed onto Figure 7 buckets:\n"
+            f"{fig7}"
+        )
+
+
+def fig_cpistack(
+    workloads: Optional[List[Workload]] = None,
+    config: Optional[MachineConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> CpiStackResult:
+    """Measured CPI stacks for the standard workloads on one config."""
+    workloads = workloads or standard_workloads()
+    config = config or base_config()
+    runner = runner or ExperimentRunner()
+    runner.prefetch(up=[(config, w) for w in workloads])
+    stacks: Dict[str, Dict[str, int]] = {}
+    cycles: Dict[str, int] = {}
+    for workload in workloads:
+        result = runner.run(config, workload)
+        stacks[workload.name] = dict(result.core.cpi_stack)
+        cycles[workload.name] = result.cycles
+    return CpiStackResult(stacks, cycles)
 
 
 # ---------------------------------------------------------------------------

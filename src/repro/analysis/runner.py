@@ -288,6 +288,18 @@ class ExperimentRunner:
         """All uniprocessor results produced so far."""
         return dict(self._up_cache)
 
+    def metrics(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Flat registry metrics for every uniprocessor result so far.
+
+        Keyed like :meth:`cached_results`; each value is the result's
+        :func:`repro.observe.registry.collect` dictionary (scalars plus
+        ``decode_stalls.*`` and ``cpistack.*``), ready for tabulation or
+        export without touching per-result attribute paths.
+        """
+        from repro.observe.registry import collect
+
+        return {key: collect(result) for key, result in self._up_cache.items()}
+
 
 class ParallelRunner(ExperimentRunner):
     """Multi-process experiment runner with a persistent disk cache.

@@ -8,6 +8,8 @@ Commands:
   (``--jobs N`` fans independent runs over worker processes; results
   persist in ``.repro_cache/``).
 - ``sweeps`` — run the supplemental parameter sweeps (same knobs).
+- ``analyze`` — render analyses (e.g. CPI stacks) from cached results
+  without re-simulating.
 - ``cache`` — inspect or clear the persistent result cache.
 - ``trace`` — generate a synthetic trace to a file.
 - ``verify`` — run the Reverse-Tracer/logic-simulator cross-check.
@@ -63,14 +65,43 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
     workload = workload_by_name(args.workload, warm=args.warm, timed=args.timed)
     config = _config_by_name(args.config)
+
+    tracer = None
+    if args.trace_events:
+        from repro.observe import PipelineTracer
+
+        tracer = PipelineTracer(capacity=args.trace_ring)
+
     print(f"simulating {workload.name} ({args.timed:,} timed instructions) "
           f"on {config.name} ...")
     result = PerformanceModel(config).run(
         workload.trace(),
         warmup_fraction=workload.warmup_fraction,
         regions=workload.regions(),
+        tracer=tracer,
     )
     print(result.summary())
+    stack = result.cpi_stack_report()
+    if stack:
+        print()
+        print("CPI stack (cycle attribution):")
+        print(stack)
+
+    if tracer is not None:
+        if args.trace_format == "chrome":
+            written = tracer.write_chrome_trace(args.trace_events)
+        else:
+            written = tracer.write_jsonl(args.trace_events)
+        suffix = (
+            f" (ring kept last {len(tracer)} of {tracer.emitted:,} emitted)"
+            if tracer.dropped
+            else ""
+        )
+        print()
+        print(
+            f"wrote {written:,} {args.trace_format} events to "
+            f"{args.trace_events}{suffix}"
+        )
 
 
 def _make_runner(args: argparse.Namespace, campaign: Optional[str] = None):
@@ -168,6 +199,7 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_figures(args: argparse.Namespace) -> None:
     from repro.analysis import (
+        fig_cpistack,
         fig07_characteristics,
         fig08_issue_width,
         fig09_10_bht,
@@ -200,6 +232,7 @@ def _cmd_figures(args: argparse.Namespace) -> None:
         ),
         "16": lambda: fig16_17_prefetch(workloads, runner),
         "18": lambda: fig18_reservation(workloads, runner),
+        "cpistack": lambda: fig_cpistack(workloads, runner=runner),
     }
     wanted = figure_map.keys() if args.figure == "all" else [args.figure]
     for key in wanted:
@@ -269,6 +302,42 @@ def _cmd_cache(args: argparse.Namespace) -> None:
     print(f"entries      {cache.entries()}")
     print(f"size         {cache.size_bytes():,} bytes")
     print(f"code version {cache.code_hash}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> None:
+    """Render analyses from cached results without re-simulating."""
+    from repro.analysis import ResultCache
+    from repro.model.stats import SimResult
+    from repro.observe import render_stack_table
+
+    if args.what != "cpistack":  # future-proofing; argparse already limits
+        raise SystemExit(f"unknown analysis {args.what!r}")
+
+    cache = ResultCache(args.cache_dir)
+    stacks = {}
+    for meta, payload in cache.scan():
+        try:
+            result = SimResult.from_dict(payload)
+        except (ValueError, TypeError, KeyError):
+            continue  # an SMP or foreign payload; only UP runs render here
+        if not result.core.cpi_stack:
+            continue
+        workload = meta.get("workload", result.trace_name)
+        config = meta.get("config", result.config_name)
+        if args.workload and workload != args.workload:
+            continue
+        if args.config and config != args.config:
+            continue
+        stacks[f"{workload}@{config}"] = result.core.cpi_stack
+    if not stacks:
+        raise SystemExit(
+            f"no cached CPI stacks under {cache.directory} "
+            "(populate with 'repro figures' or 'repro run' via the runner, "
+            "or relax --workload/--config filters)"
+        )
+    print(f"{len(stacks)} cached run(s) from {cache.directory}:")
+    print()
+    print(render_stack_table(stacks, fig7=args.fig7))
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -345,11 +414,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--config", default="base", choices=_CONFIGS)
     p_run.add_argument("--warm", type=int, default=100_000)
     p_run.add_argument("--timed", type=int, default=25_000)
+    p_run.add_argument(
+        "--trace-events", default=None, metavar="PATH",
+        help="capture per-cycle pipeline events and write them to PATH",
+    )
+    p_run.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
+        help="event-trace format: jsonl (grep-friendly) or chrome "
+             "(load in about:tracing / Perfetto)",
+    )
+    p_run.add_argument(
+        "--trace-ring", type=_positive_int, default=None, metavar="N",
+        help="ring-buffer mode: keep only the last N events "
+             "(default: keep everything)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("figure", nargs="?", default="all",
-                       help="7, 8, 9, 11, 14, 16, 18, or 'all'")
+                       help="7, 8, 9, 11, 14, 16, 18, cpistack, or 'all'")
     p_fig.add_argument("--warm", type=int, default=100_000)
     p_fig.add_argument("--timed", type=int, default=25_000)
     p_fig.add_argument("--smp-cpus", type=int, default=16)
@@ -365,6 +448,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweeps.add_argument("--timed", type=int, default=25_000)
     _add_runner_options(p_sweeps)
     p_sweeps.set_defaults(func=_cmd_sweeps)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="render analyses from cached results (no simulation)"
+    )
+    p_analyze.add_argument("what", choices=("cpistack",),
+                           help="analysis to render")
+    p_analyze.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_analyze.add_argument("--workload", default=None,
+                           help="only this workload (e.g. TPC-C)")
+    p_analyze.add_argument("--config", default=None,
+                           help="only this configuration (e.g. SPARC64-V)")
+    p_analyze.add_argument("--fig7", action="store_true",
+                           help="collapse onto the paper's Figure 7 buckets")
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("--cache-dir", default=None, metavar="DIR")

@@ -81,6 +81,12 @@ class LoadStoreUnit:
         self.order_stalls = 0
         self.lq_full_stalls = 0
         self.sq_full_stalls = 0
+        # Last-event breadcrumbs for the CPI-stack accountant: cycle and
+        # uop seq of the most recent bank-conflict abort / ordering hold.
+        self.last_conflict_cycle = -1
+        self.last_conflict_seq = -1
+        self.last_order_stall_cycle = -1
+        self.last_order_stall_seq = -1
 
     # ------------------------------------------------------------------
     # Allocation (decode time).
@@ -183,6 +189,8 @@ class LoadStoreUnit:
                 outcome = self._try_issue_load(entry, cycle, banks_used, banked)
                 if outcome == "conflict":
                     self.bank_conflicts += 1
+                    self.last_conflict_cycle = cycle
+                    self.last_conflict_seq = entry.uop.seq
                     continue
                 if outcome == "blocked":
                     continue
@@ -233,12 +241,16 @@ class LoadStoreUnit:
                 forward_from = store  # youngest older matching store wins
         if blocking_store is not None:
             self.order_stalls += 1
+            self.last_order_stall_cycle = cycle
+            self.last_order_stall_seq = uop.seq
             return "blocked"
 
         if forward_from is not None:
             data_ready = forward_from.data_ready_cycle()
             if data_ready >= FAR_FUTURE or data_ready > cycle:
                 self.order_stalls += 1
+                self.last_order_stall_cycle = cycle
+                self.last_order_stall_seq = uop.seq
                 return "blocked"
             entry.issued = True
             self.forwards += 1

@@ -26,6 +26,17 @@ Cancellation epochs invalidate the stale completion events.
 fetch blocks at a mispredicted branch and resumes when the branch
 resolves, so the misprediction penalty is the dead fetch time plus the
 pipeline refill — the same accounting the paper's model uses.
+
+**Observability.**  A CPI-stack accountant runs on every cycle (it is a
+couple of dict increments, so it is always on): a cycle with at least
+one commit is ``base``; a zero-commit cycle is attributed to whatever
+blocks the window head, or to the front end when the window is empty
+(see :mod:`repro.observe.cpistack` for the scheme).  The attributed
+cycles must sum to ``CoreStats.cycles`` exactly — the conservation
+invariant is enforced in :meth:`ProcessorCore.finalize_stats`.  A
+:class:`~repro.observe.events.PipelineTracer` can additionally be
+attached for per-uop structured event traces; when none is attached the
+only cost is an ``is None`` test per event site.
 """
 
 from __future__ import annotations
@@ -44,6 +55,8 @@ from repro.frontend.bht import BhtParams
 from repro.frontend.fetch import FetchedInstruction, FetchUnit, FrontEndParams
 from repro.isa.opcodes import OpClass, uses_rsa, uses_rsbr, uses_rse, uses_rsf
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.observe import categories as cat
+from repro.observe.cpistack import new_stack, prune, verify_conservation
 from repro.trace.stream import Trace
 
 #: Abort threshold for a wedged simulation (no activity, no wake events).
@@ -70,6 +83,9 @@ class CoreStats:
     fetch_taken_bubble_cycles: int = 0
     branch_mispredictions: int = 0
     conditional_branches: int = 0
+    #: CPI-stack: cycles attributed to each stall category (zero entries
+    #: pruned).  Invariant: the values sum to ``cycles`` exactly.
+    cpi_stack: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -111,16 +127,16 @@ class ProcessorCore:
         self._trace_length = len(trace)
         self._committed = 0
         self.stats = CoreStats()
-        self._decode_stalls = {
-            "window": 0,
-            "rename_int": 0,
-            "rename_fp": 0,
-            "rs": 0,
-            "lq": 0,
-            "sq": 0,
-        }
+        self._decode_stalls = {kind: 0 for kind in cat.DECODE_STALL_KINDS}
         self._load_levels: Dict[str, int] = {}
         self.cycle = 0
+        self._trace_name = getattr(trace, "name", "trace")
+        # CPI-stack accountant: every cycle in [0, _accounted_until) has
+        # been attributed to exactly one category in _stack.
+        self._stack = new_stack()
+        self._accounted_until = 0
+        #: Optional PipelineTracer (see attach_tracer).
+        self.tracer = None
 
     def _build_stations(self, params: CoreParams) -> None:
         if params.rs_organization is RsOrganization.TWO_RS:
@@ -158,9 +174,21 @@ class ProcessorCore:
         """True once every trace instruction has committed."""
         return self._committed >= self._trace_length
 
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.observe.events.PipelineTracer` (or None)."""
+        self.tracer = tracer
+        self.fetch.tracer = tracer
+
     def step_cycle(self, cycle: int) -> bool:
         """Advance all pipeline phases for one cycle; True on any activity."""
         self.cycle = cycle
+        account = cycle >= self._accounted_until
+        if account and cycle > self._accounted_until:
+            # The driver skipped an idle span: no event fired and no phase
+            # ran inside it, so the classification at the span start holds
+            # for every skipped cycle.
+            span = cycle - self._accounted_until
+            self._stack[self._classify_stall(self._accounted_until)] += span
         activity = self._process_events(cycle)
         newly_committed = self._commit(cycle)
         self._committed += newly_committed
@@ -178,6 +206,13 @@ class ProcessorCore:
         buffered_before = len(self.fetch._buffer)
         self.fetch.step(cycle)
         activity |= len(self.fetch._buffer) != buffered_before
+
+        if account:
+            if newly_committed:
+                self._stack[cat.BASE] += 1
+            else:
+                self._stack[self._classify_stall(cycle)] += 1
+            self._accounted_until = cycle + 1
         return activity
 
     def run(self, max_cycles: Optional[int] = None) -> CoreStats:
@@ -202,7 +237,21 @@ class ProcessorCore:
         return self.stats
 
     def finalize_stats(self, cycles: int) -> CoreStats:
-        """Populate the statistics object after the last commit."""
+        """Populate the statistics object after the last commit.
+
+        Also closes the CPI-stack books and enforces conservation: the
+        attributed cycles must equal ``cycles`` exactly.
+        """
+        if cycles > self._accounted_until:
+            # Tail the driver never stepped (an SMP core idling after its
+            # own trace finished): one classification covers the span.
+            span = cycles - self._accounted_until
+            self._stack[self._classify_stall(self._accounted_until)] += span
+            self._accounted_until = cycles
+        self.stats.cpi_stack = prune(self._stack)
+        verify_conservation(
+            self._stack, cycles, where=f"trace {self._trace_name!r}"
+        )
         self.stats.cycles = cycles
         self.stats.instructions = self._committed
         self.stats.decode_stalls = dict(self._decode_stalls)
@@ -242,6 +291,52 @@ class ProcessorCore:
 
     def _window_size(self) -> int:
         return len(self.window) - self._window_head
+
+    def _classify_stall(self, cycle: int) -> str:
+        """Attribute one zero-commit cycle to the category blocking progress.
+
+        Head-of-window rule: the oldest in-flight instruction is the one
+        commit is waiting for, so the cycle is charged to whatever that
+        instruction is waiting on.  With an empty window the front end is
+        responsible.  See :mod:`repro.observe.cpistack` for the scheme.
+        """
+        if self._window_head < len(self.window):
+            uop = self.window[self._window_head]
+            if uop.is_load:
+                level = uop.mem_level
+                if level is not None:
+                    # Resolution known: charge the servicing level.
+                    return cat.LEVEL_CATEGORY.get(level, cat.DCACHE_L1)
+                lsu = self.lsu
+                if lsu.last_conflict_cycle == cycle and lsu.last_conflict_seq == uop.seq:
+                    return cat.BANK_CONFLICT
+                if (
+                    lsu.last_order_stall_cycle == cycle
+                    and lsu.last_order_stall_seq == uop.seq
+                ):
+                    return cat.LSQ_ORDER
+                if uop.replays:
+                    return cat.REPLAY
+                # Address generation / L1 access at predicted hit timing.
+                return cat.DCACHE_L1
+            if uop.is_store:
+                if uop.state == UopState.DONE:
+                    return cat.STORE_DATA
+                if uop.replays:
+                    return cat.REPLAY
+                return cat.EXEC
+            if uop.mispredicted and uop.is_branch and uop.state != UopState.DONE:
+                return cat.BRANCH_MISPREDICT
+            if uop.replays:
+                return cat.REPLAY
+            return cat.EXEC
+        if self.fetch._buffer:
+            # Instructions are in the fetch pipe but not yet decodable.
+            return cat.FRONTEND_FILL
+        reason = self.fetch.stall_reason(cycle)
+        if reason is None:
+            return cat.FRONTEND_FILL
+        return cat.FETCH_CATEGORY[reason]
 
     # ------------------------------------------------------------------
     # Phase 1: completion events.
@@ -283,6 +378,8 @@ class ProcessorCore:
                 self._apply_load_resolution(payload, event_cycle)
             else:
                 uop.state = UopState.DONE
+                if self.tracer is not None:
+                    self.tracer.emit(event_cycle, "complete", uop.seq, uop.mem_level)
                 if not uop.confirmed:
                     self._confirm(uop)
                 if uop.is_branch and uop.mispredicted:
@@ -304,6 +401,8 @@ class ProcessorCore:
                 break
             uop.state = UopState.COMMITTED
             uop.commit_cycle = cycle
+            if self.tracer is not None:
+                self.tracer.emit(cycle, "commit", uop.seq)
             self.rename.release(uop)
             if uop.holds_rs_entry:
                 uop.station.free(uop)
@@ -347,6 +446,7 @@ class ProcessorCore:
             ready += self.params.no_forwarding_penalty
         uop.result_ready = ready
         uop.done_cycle = ready
+        uop.mem_level = resolution.level
         self._load_levels[resolution.level] = self._load_levels.get(resolution.level, 0) + 1
         if not resolution.prediction_held:
             self._cancel_waiters(uop, ready)
@@ -387,6 +487,8 @@ class ProcessorCore:
     def _cancel(self, uop: Uop, earliest: int) -> None:
         self.stats.replays += 1
         uop.replays += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.cycle, "cancel", uop.seq, uop.replays)
         uop.epoch += 1
         uop.state = UopState.WAITING
         uop.result_ready = FAR_FUTURE
@@ -399,6 +501,7 @@ class ProcessorCore:
             # wrong — impossible by construction, but re-insert defensively.
             uop.station.insert(uop)
         if uop.is_load:
+            uop.mem_level = None  # the re-issued access may hit elsewhere
             self.lsu.load_cancelled(uop)
         self._cancel_waiters(uop, earliest)
         self._wake(earliest)
@@ -438,6 +541,8 @@ class ProcessorCore:
         uop.dispatch_cycle = cycle
         station.dispatches += 1
         self.stats.dispatches += 1
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "dispatch", uop.seq, station.name)
         exec_start = cycle + params.dispatch_to_exec
 
         # Register on unconfirmed producers for cancel/confirm tracking.
@@ -513,34 +618,34 @@ class ProcessorCore:
     def _can_decode(self, fetched: FetchedInstruction) -> bool:
         record = fetched.record
         if self._window_size() >= self.params.window_size:
-            self._decode_stalls["window"] += 1
+            self._decode_stalls[cat.DECODE_WINDOW] += 1
             return False
         kind = self.rename.dest_kind(record.dest)
         if not self.rename.can_allocate(kind):
-            self._decode_stalls["rename_int" if kind == "int" else "rename_fp"] += 1
+            self._decode_stalls[cat.DECODE_RENAME_INT if kind == "int" else cat.DECODE_RENAME_FP] += 1
             return False
         op = record.op
         if uses_rse(op):
             if self.rse.station_for_insert() is None:
-                self._decode_stalls["rs"] += 1
+                self._decode_stalls[cat.DECODE_RS] += 1
                 return False
         elif uses_rsf(op):
             if self.rsf.station_for_insert() is None:
-                self._decode_stalls["rs"] += 1
+                self._decode_stalls[cat.DECODE_RS] += 1
                 return False
         elif uses_rsa(op):
             if not self.rsa.has_space():
-                self._decode_stalls["rs"] += 1
+                self._decode_stalls[cat.DECODE_RS] += 1
                 return False
             if op == OpClass.LOAD and not self.lsu.can_allocate_load():
-                self._decode_stalls["lq"] += 1
+                self._decode_stalls[cat.DECODE_LQ] += 1
                 return False
             if op == OpClass.STORE and not self.lsu.can_allocate_store():
-                self._decode_stalls["sq"] += 1
+                self._decode_stalls[cat.DECODE_SQ] += 1
                 return False
         elif uses_rsbr(op):
             if not self.rsbr.has_space():
-                self._decode_stalls["rs"] += 1
+                self._decode_stalls[cat.DECODE_RS] += 1
                 return False
         return True
 
@@ -583,3 +688,5 @@ class ProcessorCore:
             self.lsu.allocate(uop, data_producer)
 
         self.window.append(uop)
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "decode", uop.seq, record.pc, record.op.name)

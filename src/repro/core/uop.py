@@ -57,6 +57,7 @@ class Uop:
         "is_load",
         "is_store",
         "commit_cycle",
+        "mem_level",
     )
 
     def __init__(self, seq: int, record: TraceRecord, decode_cycle: int) -> None:
@@ -95,6 +96,10 @@ class Uop:
         self.is_load = op == OpClass.LOAD
         self.is_store = op == OpClass.STORE
         self.commit_cycle = -1
+        #: Memory level that serviced this load ("l1"/"l2"/"remote"/"mem"/
+        #: "forward"), once its resolution is known; None before (and
+        #: again after a cancellation).  Read by the CPI-stack accountant.
+        self.mem_level: Optional[str] = None
 
     @property
     def op(self) -> OpClass:

@@ -100,10 +100,16 @@ class FetchUnit:
         self._buffer: Deque[FetchedInstruction] = deque()
         #: Fetch is idle until this cycle (I-miss, taken-branch bubbles).
         self._stall_until = 0
+        #: Why fetch is idle until ``_stall_until``: "icache" (L1I miss or
+        #: ITLB walk), "bubble" (taken-branch redirect), or "redirect"
+        #: (front-end restart after a resolved mispredict).
+        self._stall_reason: Optional[str] = None
         #: True while fetch is blocked behind an unresolved mispredict.
         self._blocked = False
         #: A group whose I-line is already being filled (avoid re-access).
         self._pending_delivery = False
+        #: Optional pipeline event tracer (set by the core).
+        self.tracer = None
         # Counters.
         self.fetch_groups = 0
         self.icache_stall_cycles = 0
@@ -130,6 +136,23 @@ class FetchUnit:
         """Resume fetch after a mispredicted branch resolves."""
         self._blocked = False
         self._stall_until = max(self._stall_until, cycle + self.params.redirect_penalty)
+        self._stall_reason = "redirect"
+
+    def stall_reason(self, cycle: int) -> Optional[str]:
+        """Why fetch is delivering nothing at ``cycle`` (for the accountant).
+
+        One of "mispredict" (blocked behind an unresolved branch),
+        "drained" (trace exhausted), "icache"/"bubble"/"redirect" (idle
+        until ``_stall_until``), or None (actively fetching; anything
+        missing downstream is fetch-pipe latency).
+        """
+        if self._blocked:
+            return "mispredict"
+        if self.exhausted:
+            return "drained"
+        if cycle < self._stall_until:
+            return self._stall_reason
+        return None
 
     def next_wake_cycle(self) -> Optional[int]:
         """Earliest future cycle at which fetch state can change."""
@@ -156,6 +179,7 @@ class FetchUnit:
         if access.level != "l1" or access.tlb_cycles:
             # Miss (or TLB walk): the group arrives when the line does.
             self._stall_until = access.ready_cycle
+            self._stall_reason = "icache"
             self.icache_stall_cycles += access.ready_cycle - cycle
             self._pending_delivery = True
             return
@@ -216,7 +240,10 @@ class FetchUnit:
                 # BHT-access bubble penalty.
                 bubbles = self.bht.params.access_latency
                 self._stall_until = cycle + 1 + bubbles
+                self._stall_reason = "bubble"
                 self.taken_bubble_cycles += bubbles
                 redirected = True
 
         self.fetch_groups += 1
+        if self.tracer is not None and count:
+            self.tracer.emit(cycle, "fetch", -1, first.pc, count)

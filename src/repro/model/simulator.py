@@ -144,11 +144,14 @@ class PerformanceModel:
         trace: Trace,
         warmup_fraction: float = 0.1,
         regions: Optional[dict] = None,
+        tracer=None,
     ) -> SimResult:
         """Simulate ``trace``; the leading fraction warms state untimed.
 
         ``regions`` (from :meth:`TraceGenerator.memory_regions`) enables
         steady-state pre-warming before the trace-prefix warm-up.
+        ``tracer`` (a :class:`~repro.observe.events.PipelineTracer`)
+        enables per-cycle pipeline event capture for the timed region.
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ConfigError("warmup_fraction must be in [0, 1)")
@@ -167,6 +170,8 @@ class PerformanceModel:
             frontend = FrontEndParamsWithPerfect(frontend)
 
         core = ProcessorCore(timed_part, hierarchy, config.core, frontend, config.bht)
+        if tracer is not None:
+            core.attach_tracer(tracer)
         if regions:
             prewarm_regions(hierarchy, regions)
         if warm_part is not None:

@@ -82,6 +82,24 @@ class SimResult:
         width = max(len(key) for key in data)
         return "\n".join(f"{key:<{width}}  {value}" for key, value in data.items())
 
+    def metrics(self) -> Dict[str, object]:
+        """Flat ``{name: value}`` view via the metrics registry.
+
+        Every consumer (runner, figures, ``repro analyze``) reads results
+        through this one contract; see :mod:`repro.observe.registry`.
+        """
+        from repro.observe.registry import collect
+
+        return collect(self)
+
+    def cpi_stack_report(self) -> str:
+        """The CPI stack rendered as aligned text (empty string if absent)."""
+        from repro.observe.cpistack import render_stack
+
+        if not self.core.cpi_stack:
+            return ""
+        return render_stack(self.core.cpi_stack, self.core.cycles)
+
     def to_dict(self) -> Dict[str, object]:
         """Full lossless serialisation (inverse of :meth:`from_dict`).
 

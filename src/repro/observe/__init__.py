@@ -1,0 +1,64 @@
+"""Pipeline observability: CPI-stack accounting, event tracing, metrics.
+
+Three layers, all reading from the same canonical label set
+(:mod:`repro.observe.categories`):
+
+- :mod:`repro.observe.cpistack` — the always-on cycle accountant's
+  invariants and renderers.  Every committed cycle is attributed to
+  exactly one category; the sum equals ``CoreStats.cycles`` with exact
+  integer equality, enforced at the end of every run.
+- :mod:`repro.observe.events` — opt-in per-cycle structured event
+  tracing (fetch/decode/dispatch/complete/commit/cancel) with JSONL and
+  Chrome-trace exporters and a ring-buffer mode for last-N capture.
+- :mod:`repro.observe.registry` — the metrics registry shared by
+  ``SimResult``, the runner, and ``repro analyze``.
+"""
+
+from repro.observe.categories import (
+    CATEGORY_LABELS,
+    CPI_CATEGORIES,
+    DECODE_STALL_KINDS,
+    DECODE_STALL_LABELS,
+    FIG7_GROUPS,
+    FIG7_ORDER,
+)
+from repro.observe.cpistack import (
+    ConservationError,
+    collapse_fig7,
+    fractions,
+    merge,
+    new_stack,
+    prune,
+    render_stack,
+    render_stack_table,
+    total,
+    verify_conservation,
+)
+from repro.observe.events import EventRecord, PipelineTracer
+from repro.observe.registry import Metric, REGISTRY, collect, metric_names, register
+
+__all__ = [
+    "CATEGORY_LABELS",
+    "CPI_CATEGORIES",
+    "DECODE_STALL_KINDS",
+    "DECODE_STALL_LABELS",
+    "FIG7_GROUPS",
+    "FIG7_ORDER",
+    "ConservationError",
+    "collapse_fig7",
+    "fractions",
+    "merge",
+    "new_stack",
+    "prune",
+    "render_stack",
+    "render_stack_table",
+    "total",
+    "verify_conservation",
+    "EventRecord",
+    "PipelineTracer",
+    "Metric",
+    "REGISTRY",
+    "collect",
+    "metric_names",
+    "register",
+]

@@ -1,0 +1,190 @@
+"""Canonical names for every observability label in the model.
+
+Before this module existed the stall labels were stringly-typed in two
+places (the pipeline's ``_decode_stalls`` dict and ad-hoc report code),
+which is exactly how counter drift starts: a renamed key silently
+orphans a report column.  Everything that names a stall — the decode
+back-pressure counters, the CPI-stack categories, the paper's Figure 7
+buckets — now imports its strings from here.
+
+**CPI-stack categories.**  The cycle accountant attributes every
+committed cycle to exactly one of the :data:`CPI_CATEGORIES` below via
+head-of-window blocker analysis (see :mod:`repro.observe.cpistack`).
+The conservation invariant — the attributed cycles sum to
+``CoreStats.cycles`` with exact integer equality — is enforced at the
+end of every run.
+
+**Figure 7 mapping.**  :data:`FIG7_GROUPS` collapses the fine-grained
+stack onto the paper's four characterization buckets (core / branch /
+ibs+tlb / sx) so a measured stack can be read against Figure 7.  The
+mapping is approximate by construction: the paper derives its buckets
+from perfect-structure model deltas, while the stack attributes concrete
+cycles; both views are reported side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# CPI-stack categories (cycle attribution).
+# ---------------------------------------------------------------------------
+
+#: >=1 instruction committed this cycle (issue/commit bandwidth in use).
+BASE = "base"
+#: Window empty; fetch is stalled on an L1I miss or ITLB walk.
+ICACHE = "icache"
+#: Window empty behind an unresolved mispredicted branch (dead fetch
+#: time + redirect penalty), or the window head is that branch.
+BRANCH_MISPREDICT = "branch_mispredict"
+#: Window empty; fetch is paying taken-branch redirect bubbles (the
+#: BHT-access-latency bubbles of the paper's §4.3.2 study).
+FETCH_BUBBLE = "fetch_bubble"
+#: Window empty; instructions are in flight in the fetch/decode pipe.
+FRONTEND_FILL = "frontend_fill"
+#: Window empty and the trace is exhausted (run tail; on SMP, cycles a
+#: finished CPU spends waiting for its peers).
+DRAIN = "drain"
+#: Head of window is a load in flight at (or still predicted at) L1 hit
+#: timing, or resolved as an L1 hit not yet forwarded.
+DCACHE_L1 = "dcache_l1"
+#: Head load resolved as an L1 miss serviced by the L2.
+DCACHE_L2 = "dcache_l2"
+#: Head load serviced by a cache-to-cache transfer (SMP).
+DCACHE_REMOTE = "dcache_remote"
+#: Head load serviced by memory (includes bus + DRAM occupancy).
+DCACHE_MEM = "dcache_mem"
+#: Head load satisfied by store-queue forwarding.
+DCACHE_FORWARD = "dcache_forward"
+#: Head load delayed by an L1 operand-bank conflict this cycle (§3.2).
+BANK_CONFLICT = "bank_conflict"
+#: Head load held by memory-ordering (older store address/data unknown).
+LSQ_ORDER = "lsq_order"
+#: Head uop was cancelled by speculative-dispatch replay (§3.1) and is
+#: waiting to re-dispatch.
+REPLAY = "replay"
+#: Head store is complete but its data producer has not delivered.
+#: Structurally zero under in-order commit (the producer, being older,
+#: commits first) — cycles here are a tripwire for a changed discipline.
+STORE_DATA = "store_data"
+#: Head uop is executing or waiting on register dependences.
+EXEC = "exec"
+
+#: Every category the accountant can emit, in canonical display order.
+CPI_CATEGORIES: Tuple[str, ...] = (
+    BASE,
+    EXEC,
+    DCACHE_L1,
+    DCACHE_L2,
+    DCACHE_REMOTE,
+    DCACHE_MEM,
+    DCACHE_FORWARD,
+    BANK_CONFLICT,
+    LSQ_ORDER,
+    STORE_DATA,
+    REPLAY,
+    BRANCH_MISPREDICT,
+    FETCH_BUBBLE,
+    ICACHE,
+    FRONTEND_FILL,
+    DRAIN,
+)
+
+#: Memory-hierarchy level (as reported by LoadResolution.level) -> category.
+LEVEL_CATEGORY: Dict[str, str] = {
+    "l1": DCACHE_L1,
+    "l2": DCACHE_L2,
+    "remote": DCACHE_REMOTE,
+    "mem": DCACHE_MEM,
+    "forward": DCACHE_FORWARD,
+}
+
+#: Fetch-unit stall reason -> category (window empty).
+FETCH_CATEGORY: Dict[str, str] = {
+    "mispredict": BRANCH_MISPREDICT,
+    "redirect": BRANCH_MISPREDICT,
+    "icache": ICACHE,
+    "bubble": FETCH_BUBBLE,
+    "drained": DRAIN,
+}
+
+#: Human-readable labels for tables.
+CATEGORY_LABELS: Dict[str, str] = {
+    BASE: "base (committing)",
+    EXEC: "execution/dependences",
+    DCACHE_L1: "D-cache L1",
+    DCACHE_L2: "D-cache L2",
+    DCACHE_REMOTE: "D-cache remote",
+    DCACHE_MEM: "D-cache memory+bus",
+    DCACHE_FORWARD: "store forward",
+    BANK_CONFLICT: "bank conflict",
+    LSQ_ORDER: "LSQ ordering",
+    STORE_DATA: "store data wait",
+    REPLAY: "replay (cancel)",
+    BRANCH_MISPREDICT: "branch mispredict",
+    FETCH_BUBBLE: "taken-branch bubble",
+    ICACHE: "I-cache/ITLB",
+    FRONTEND_FILL: "front-end fill",
+    DRAIN: "drain",
+}
+
+#: Collapse onto the paper's Figure 7 buckets (core / branch / ibs+tlb / sx).
+FIG7_GROUPS: Dict[str, str] = {
+    BASE: "core",
+    EXEC: "core",
+    DCACHE_L1: "core",
+    DCACHE_FORWARD: "core",
+    BANK_CONFLICT: "core",
+    LSQ_ORDER: "core",
+    STORE_DATA: "core",
+    REPLAY: "core",
+    FRONTEND_FILL: "core",
+    DRAIN: "core",
+    BRANCH_MISPREDICT: "branch",
+    FETCH_BUBBLE: "branch",
+    ICACHE: "ibs/tlb",
+    DCACHE_L2: "sx",
+    DCACHE_REMOTE: "sx",
+    DCACHE_MEM: "sx",
+}
+
+#: Order of the collapsed Figure 7 view.
+FIG7_ORDER: Tuple[str, ...] = ("core", "branch", "ibs/tlb", "sx")
+
+
+# ---------------------------------------------------------------------------
+# Decode back-pressure counters (events, not cycles).
+# ---------------------------------------------------------------------------
+#
+# These are the keys of ``CoreStats.decode_stalls``.  They count decode
+# *attempts* rejected by a full structure — symptoms of downstream
+# blockage, reported alongside the stack but never part of the conserved
+# cycle sum (the stack attributes such cycles to the structure blocking
+# the window head).
+
+DECODE_WINDOW = "window"
+DECODE_RENAME_INT = "rename_int"
+DECODE_RENAME_FP = "rename_fp"
+DECODE_RS = "rs"
+DECODE_LQ = "lq"
+DECODE_SQ = "sq"
+
+#: Canonical ordering of the decode-stall counters.
+DECODE_STALL_KINDS: Tuple[str, ...] = (
+    DECODE_WINDOW,
+    DECODE_RENAME_INT,
+    DECODE_RENAME_FP,
+    DECODE_RS,
+    DECODE_LQ,
+    DECODE_SQ,
+)
+
+#: Display labels for the decode-stall counters.
+DECODE_STALL_LABELS: Dict[str, str] = {
+    DECODE_WINDOW: "window full",
+    DECODE_RENAME_INT: "int rename regs",
+    DECODE_RENAME_FP: "fp rename regs",
+    DECODE_RS: "reservation stations",
+    DECODE_LQ: "load queue",
+    DECODE_SQ: "store queue",
+}

@@ -1,0 +1,171 @@
+"""CPI-stack accounting: attribute every committed cycle to one cause.
+
+The accountant itself lives inside :class:`repro.core.pipeline.ProcessorCore`
+(a handful of dict increments per simulated cycle — it is always on), and
+this module owns everything around the raw counters:
+
+- :func:`verify_conservation` — the hard invariant.  The per-category
+  cycle counts must sum to the run's total cycles with **exact integer
+  equality**; any violation is a bug in the attribution logic, never a
+  rounding artefact, and the pipeline raises at the end of the run.
+- :func:`collapse_fig7` — fold the fine-grained stack onto the paper's
+  four Figure 7 characterization buckets (core / branch / ibs+tlb / sx).
+- :func:`render_stack` / :func:`render_stack_table` — diff-friendly,
+  aligned text renderings used by ``repro analyze cpistack`` and the
+  figure harness.
+
+Attribution scheme (documented here once; the classifier mirrors it):
+
+1. a cycle in which at least one instruction commits is ``base``;
+2. a zero-commit cycle with a non-empty window is attributed to whatever
+   blocks the *window head* (memory level for loads, replay, bank
+   conflict, store data, branch resolution, execution latency);
+3. a zero-commit cycle with an empty window is attributed to the front
+   end (I-cache stall, mispredict dead time, taken-branch bubbles,
+   fetch-pipe fill, or end-of-trace drain).
+
+Decode back-pressure (window/rename/RS/LSQ full) counters are *events*,
+not cycles: a full structure is a symptom of the downstream blockage the
+head-of-window rule already charges.  They are reported alongside the
+stack, never inside the conserved sum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.observe.categories import (
+    CATEGORY_LABELS,
+    CPI_CATEGORIES,
+    FIG7_GROUPS,
+    FIG7_ORDER,
+)
+
+
+class ConservationError(SimulationError):
+    """The attributed cycles do not sum to the run's total cycles."""
+
+
+def new_stack() -> Dict[str, int]:
+    """A zeroed accumulator with every category pre-registered.
+
+    Pre-registering keeps the hot-path increment a plain ``stack[cat] += 1``
+    and makes the serialized ordering deterministic.
+    """
+    return {category: 0 for category in CPI_CATEGORIES}
+
+
+def prune(stack: Mapping[str, int]) -> Dict[str, int]:
+    """Drop zero categories, preserving canonical order (for serialization)."""
+    return {cat: count for cat, count in stack.items() if count}
+
+
+def total(stack: Mapping[str, int]) -> int:
+    """Sum of attributed cycles."""
+    return sum(stack.values())
+
+
+def verify_conservation(stack: Mapping[str, int], cycles: int, where: str = "") -> None:
+    """Raise :class:`ConservationError` unless ``sum(stack) == cycles`` exactly."""
+    attributed = total(stack)
+    if attributed != cycles:
+        detail = ", ".join(f"{cat}={count}" for cat, count in prune(stack).items())
+        raise ConservationError(
+            f"CPI-stack conservation violated{f' in {where}' if where else ''}: "
+            f"attributed {attributed} cycles != simulated {cycles} "
+            f"(delta {attributed - cycles:+d}); stack: {{{detail}}}"
+        )
+
+
+def merge(stacks: Sequence[Mapping[str, int]]) -> Dict[str, int]:
+    """Element-wise sum of several stacks (e.g. the per-CPU stacks of an SMP run)."""
+    merged = new_stack()
+    for stack in stacks:
+        for category, count in stack.items():
+            merged[category] = merged.get(category, 0) + count
+    return prune(merged)
+
+
+def fractions(stack: Mapping[str, int]) -> Dict[str, float]:
+    """Each category as a fraction of the attributed total."""
+    denom = total(stack)
+    if denom == 0:
+        return {}
+    return {cat: count / denom for cat, count in stack.items() if count}
+
+
+def collapse_fig7(stack: Mapping[str, int]) -> Dict[str, int]:
+    """Fold the stack onto the paper's Figure 7 buckets.
+
+    Unmapped (future) categories conservatively fold into ``core`` so the
+    collapsed view conserves cycles too.
+    """
+    collapsed = {group: 0 for group in FIG7_ORDER}
+    for category, count in stack.items():
+        collapsed[FIG7_GROUPS.get(category, "core")] += count
+    return collapsed
+
+
+def ordered_items(stack: Mapping[str, int]) -> List[Tuple[str, int]]:
+    """Non-zero (category, cycles) pairs in canonical display order."""
+    known = [(cat, stack[cat]) for cat in CPI_CATEGORIES if stack.get(cat)]
+    extra = sorted(
+        (cat, count)
+        for cat, count in stack.items()
+        if cat not in CPI_CATEGORIES and count
+    )
+    return known + extra
+
+
+def render_stack(stack: Mapping[str, int], cycles: Optional[int] = None) -> str:
+    """One stack as aligned ``label  cycles  percent`` lines."""
+    denom = cycles if cycles is not None else total(stack)
+    items = ordered_items(stack)
+    if not items:
+        return "(empty stack)"
+    width = max(len(CATEGORY_LABELS.get(cat, cat)) for cat, _ in items)
+    lines = []
+    for cat, count in items:
+        label = CATEGORY_LABELS.get(cat, cat)
+        share = 100.0 * count / denom if denom else 0.0
+        lines.append(f"{label:<{width}}  {count:>10,}  {share:5.1f}%")
+    lines.append(f"{'total':<{width}}  {total(stack):>10,}  100.0%")
+    return "\n".join(lines)
+
+
+def render_stack_table(
+    stacks: Mapping[str, Mapping[str, int]],
+    fig7: bool = False,
+) -> str:
+    """Several runs side by side: one row per run, one column per category.
+
+    ``stacks`` maps a row label (workload or ``workload@config``) to its
+    stack.  With ``fig7=True`` the columns are the paper's four buckets.
+    """
+    from repro.analysis.report import format_table, percent
+
+    if fig7:
+        columns: Sequence[str] = FIG7_ORDER
+        rendered = {name: collapse_fig7(stack) for name, stack in stacks.items()}
+        headers = ["workload"] + list(columns)
+    else:
+        used = set()
+        for stack in stacks.values():
+            used.update(cat for cat, count in stack.items() if count)
+        columns = [cat for cat in CPI_CATEGORIES if cat in used] + sorted(
+            used - set(CPI_CATEGORIES)
+        )
+        rendered = {name: dict(stack) for name, stack in stacks.items()}
+        headers = ["workload"] + list(columns)
+    rows = []
+    for name, stack in rendered.items():
+        denom = total(stack)
+        rows.append(
+            [name]
+            + [
+                percent(stack.get(col, 0) / denom, 1) if denom else "n/a"
+                for col in columns
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,179 @@
+"""Opt-in per-cycle structured pipeline event tracing.
+
+When a :class:`PipelineTracer` is attached to a core
+(:meth:`repro.core.pipeline.ProcessorCore.attach_tracer`, or
+``PerformanceModel.run(..., tracer=...)``, or ``repro run
+--trace-events``), the pipeline emits one compact record per lifecycle
+event:
+
+==========  =============================================================
+kind        meaning (extra fields)
+==========  =============================================================
+``fetch``   one fetch group delivered (``pc`` of first instr, ``count``)
+``decode``  uop entered the window (``pc``, ``op``)
+``dispatch``uop left a reservation station (``station``)
+``complete``uop's result became final (``level`` for loads)
+``commit``  uop retired
+``cancel``  uop was cancelled for replay (``replays`` so far)
+==========  =============================================================
+
+Records are stored as plain tuples ``(cycle, kind, uop, a, b)`` — the
+emit path is two attribute loads and a method call, so tracing costs
+nothing when disabled (``tracer is None``) and little when enabled.
+
+Two retention modes:
+
+- **full** (``capacity=None``): every event is kept, for export;
+- **ring** (``capacity=N``): a ring buffer keeps only the last N events,
+  for "what led up to the anomaly" capture on very long runs — attach a
+  ring tracer, run, and dump the buffer when something trips (the
+  deadlock detector and the conservation invariant both leave the tracer
+  contents intact for post-mortem reads).
+
+Exporters: :meth:`PipelineTracer.write_jsonl` (one JSON object per
+line, diff- and grep-friendly) and :meth:`PipelineTracer.write_chrome_trace`
+(the Chrome ``about:tracing`` / Perfetto JSON format: per-uop lanes with
+one duration slice per pipeline stage, instant markers for cancels).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+#: One event: (cycle, kind, uop_seq, a, b).  ``uop_seq`` is -1 for
+#: group-level fetch events; ``a``/``b`` are kind-specific payloads.
+EventRecord = Tuple[int, str, int, object, object]
+
+#: Field names per kind for the structured (dict) views.
+_PAYLOAD_FIELDS = {
+    "fetch": ("pc", "count"),
+    "decode": ("pc", "op"),
+    "dispatch": ("station", None),
+    "complete": ("level", None),
+    "commit": (None, None),
+    "cancel": ("replays", None),
+}
+
+
+class PipelineTracer:
+    """Collects pipeline events; optionally as a bounded ring buffer."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[EventRecord] = deque(maxlen=capacity)
+        #: Total events emitted (>= len(self) in ring mode).
+        self.emitted = 0
+
+    # -- hot path --------------------------------------------------------
+
+    def emit(self, cycle: int, kind: str, uop: int, a=None, b=None) -> None:
+        """Record one event (kept deliberately branch-free)."""
+        self._events.append((cycle, kind, uop, a, b))
+        self.emitted += 1
+
+    # -- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded by the ring (0 in full mode)."""
+        return self.emitted - len(self._events)
+
+    def events(self) -> List[EventRecord]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def records(self) -> Iterable[dict]:
+        """The retained events as structured dicts."""
+        for cycle, kind, uop, a, b in self._events:
+            record = {"cycle": cycle, "event": kind}
+            if uop >= 0:
+                record["uop"] = uop
+            name_a, name_b = _PAYLOAD_FIELDS.get(kind, ("a", "b"))
+            if a is not None and name_a:
+                record[name_a] = a
+            if b is not None and name_b:
+                record[name_b] = b
+            yield record
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- exporters -------------------------------------------------------
+
+    def write_jsonl(self, path: str) -> int:
+        """Write one JSON object per retained event; returns the count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records():
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+                count += 1
+        return count
+
+    def write_chrome_trace(self, path: str, lanes: int = 32) -> int:
+        """Write the Chrome ``about:tracing`` JSON view; returns event count.
+
+        Each uop becomes duration slices (decode→dispatch, dispatch→
+        complete, complete→commit) on lane ``seq % lanes`` so long runs
+        stay viewable; cancels and fetch groups become instant events.
+        One simulated cycle maps to one microsecond of trace time.
+        """
+        milestones = {}  # seq -> {stage: cycle}
+        instants = []
+        for cycle, kind, uop, a, b in self._events:
+            if kind in ("decode", "dispatch", "complete", "commit"):
+                milestones.setdefault(uop, {})[kind] = cycle
+            elif kind == "cancel":
+                instants.append(
+                    {
+                        "name": f"cancel #{uop}",
+                        "ph": "i",
+                        "ts": cycle,
+                        "pid": 0,
+                        "tid": uop % lanes,
+                        "s": "t",
+                    }
+                )
+            elif kind == "fetch":
+                instants.append(
+                    {
+                        "name": "fetch group",
+                        "ph": "i",
+                        "ts": cycle,
+                        "pid": 0,
+                        "tid": 0,
+                        "s": "t",
+                        "args": {"pc": a, "count": b},
+                    }
+                )
+        slices = []
+        stages = ("decode", "dispatch", "complete", "commit")
+        for seq, marks in milestones.items():
+            for start_stage, end_stage in zip(stages, stages[1:]):
+                start = marks.get(start_stage)
+                end = marks.get(end_stage)
+                if start is None or end is None:
+                    continue
+                slices.append(
+                    {
+                        "name": f"#{seq} {start_stage}→{end_stage}",
+                        "cat": "pipeline",
+                        "ph": "X",
+                        "ts": start,
+                        "dur": max(end - start, 0),
+                        "pid": 0,
+                        "tid": seq % lanes,
+                    }
+                )
+        events = slices + instants
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return len(events)

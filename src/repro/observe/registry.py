@@ -1,0 +1,110 @@
+"""The metrics registry: one authoritative list of everything we measure.
+
+``SimResult``, the experiment runner, the figure harness and ``repro
+analyze`` used to each reach into result objects with their own strings;
+a renamed counter silently orphaned whichever consumer was not updated.
+The registry fixes the contract: every metric has one canonical name,
+one description, and one getter, and every consumer iterates the same
+table.
+
+Names are dotted paths: plain scalars (``ipc``, ``cycles``), nested
+counters (``decode_stalls.window``), and the CPI-stack categories
+(``cpistack.dcache_l2``).  :func:`collect` flattens a result into a
+``{name: value}`` dict; :func:`metric_names` lists what a result would
+produce (stack categories included only when present, since zero
+categories are pruned on serialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.observe.categories import CPI_CATEGORIES, DECODE_STALL_KINDS
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named measurement extracted from a :class:`SimResult`."""
+
+    name: str
+    description: str
+    getter: Callable[[object], object]
+    unit: str = ""
+
+
+def _core(attr: str) -> Callable[[object], object]:
+    return lambda result: getattr(result.core, attr)
+
+
+#: The scalar metrics, in display order.
+_SCALARS: Tuple[Metric, ...] = (
+    Metric("instructions", "committed instructions", _core("instructions")),
+    Metric("cycles", "simulated cycles", _core("cycles")),
+    Metric("ipc", "committed instructions per cycle", lambda r: r.ipc),
+    Metric("loads", "committed loads", _core("loads")),
+    Metric("stores", "committed stores", _core("stores")),
+    Metric("branches", "committed branches", _core("branches")),
+    Metric("dispatches", "reservation-station dispatches", _core("dispatches")),
+    Metric("replays", "speculative-dispatch cancellations", _core("replays")),
+    Metric("bank_conflicts", "L1D bank conflicts", _core("bank_conflicts")),
+    Metric("store_forwards", "loads forwarded from the store queue", _core("store_forwards")),
+    Metric("order_stalls", "loads held by memory ordering", _core("order_stalls")),
+    Metric(
+        "fetch_icache_stall_cycles",
+        "cycles fetch stalled on L1I misses",
+        _core("fetch_icache_stall_cycles"),
+        unit="cycles",
+    ),
+    Metric(
+        "fetch_taken_bubble_cycles",
+        "taken-branch redirect bubbles",
+        _core("fetch_taken_bubble_cycles"),
+        unit="cycles",
+    ),
+    Metric(
+        "branch_mispredictions",
+        "conditional branches mispredicted",
+        _core("branch_mispredictions"),
+    ),
+    Metric(
+        "bht_misprediction_ratio",
+        "BHT misprediction ratio",
+        lambda r: r.bht_misprediction_ratio,
+    ),
+    Metric("l1i_miss_ratio", "L1I demand miss ratio", lambda r: r.miss_ratio("l1i")),
+    Metric("l1d_miss_ratio", "L1D demand miss ratio", lambda r: r.miss_ratio("l1d")),
+    Metric("l2_miss_ratio", "L2 demand miss ratio", lambda r: r.miss_ratio("l2")),
+)
+
+REGISTRY: Dict[str, Metric] = {metric.name: metric for metric in _SCALARS}
+
+
+def register(metric: Metric) -> None:
+    """Add (or replace) one metric in the registry."""
+    REGISTRY[metric.name] = metric
+
+
+def metric_names() -> List[str]:
+    """Every name :func:`collect` can produce, in canonical order."""
+    names = list(REGISTRY)
+    names.extend(f"decode_stalls.{kind}" for kind in DECODE_STALL_KINDS)
+    names.extend(f"cpistack.{category}" for category in CPI_CATEGORIES)
+    return names
+
+
+def collect(result) -> Dict[str, object]:
+    """Flatten one result into ``{metric name: value}``.
+
+    Decode-stall and CPI-stack entries appear only when non-zero — the
+    pipeline prunes empty categories before serialization, and the
+    registry mirrors that so cached and fresh results collect identically.
+    """
+    out: Dict[str, object] = {
+        name: metric.getter(result) for name, metric in REGISTRY.items()
+    }
+    for kind, count in result.core.decode_stalls.items():
+        out[f"decode_stalls.{kind}"] = count
+    for category, count in result.core.cpi_stack.items():
+        out[f"cpistack.{category}"] = count
+    return out

@@ -116,4 +116,13 @@ def cross_check(
             f"instruction counts diverge on {program.name!r}: "
             f"{model_result.instructions} vs {logic_result.instructions}"
         )
+    if model_result.core.cpi_stack != logic_result.core.cpi_stack:
+        # Equal cycle counts with different attributions means the
+        # accountant classified identical pipeline states differently —
+        # a divergence in the observability layer, not the timing.
+        raise VerificationError(
+            f"CPI stacks diverge on {program.name!r}: "
+            f"model={model_result.core.cpi_stack} vs "
+            f"logic simulator={logic_result.core.cpi_stack}"
+        )
     return logic_result

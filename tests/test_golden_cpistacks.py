@@ -1,0 +1,154 @@
+"""Golden CPI-stack regression tests.
+
+``tests/golden/cpi_stacks.json`` pins the exact per-category cycle
+attribution of tiny base-configuration runs of every standard workload
+(same 4k-warm/1k-timed windows as ``base_config.json``) plus the
+per-CPU stacks of one 2-processor TPC-C run.  The accountant is
+deterministic, so any drift means either the timing moved (the
+``base_config.json`` goldens will fail too) or the *attribution* moved
+while the timing stayed put — exactly the regression class this file
+exists to catch, since total cycles alone would never show it.
+
+Re-bless intentionally with ``REPRO_UPDATE_GOLDEN=1 pytest
+tests/test_golden_cpistacks.py`` or ``python tools/regen_golden.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.workloads import smp_workload, standard_workloads
+from repro.model.config import base_config
+from repro.observe.cpistack import total
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "cpi_stacks.json"
+
+#: Mirror the base_config.json golden windows exactly.
+WARM = 4_000
+TIMED = 1_000
+SMP_CPUS = 2
+SMP_WARM = 2_000
+SMP_TIMED = 600
+
+UPDATE = bool(os.environ.get("REPRO_UPDATE_GOLDEN"))
+
+
+def compute_current() -> dict:
+    """Regenerate every pinned CPI stack from the current model."""
+    runner = ExperimentRunner()
+    config = base_config()
+    workloads = {}
+    for workload in standard_workloads(warm=WARM, timed=TIMED):
+        result = runner.run(config, workload)
+        workloads[workload.name] = {
+            "cycles": result.core.cycles,
+            "stack": result.core.cpi_stack,
+        }
+    smp = runner.run_smp(
+        config, smp_workload(SMP_CPUS, warm=SMP_WARM, timed=SMP_TIMED), SMP_CPUS
+    )
+    return {
+        "_meta": {
+            "config": config.name,
+            "warm": WARM,
+            "timed": TIMED,
+            "smp": {"cpus": SMP_CPUS, "warm": SMP_WARM, "timed": SMP_TIMED},
+        },
+        "workloads": workloads,
+        "smp": [
+            {"cycles": cpu.core.cycles, "stack": cpu.core.cpi_stack}
+            for cpu in smp.per_cpu
+        ],
+    }
+
+
+def diff_stacks(label: str, golden: dict, current: dict) -> list:
+    """Per-category differences, readable in a test failure."""
+    lines = []
+    if golden.get("cycles") != current.get("cycles"):
+        lines.append(
+            f"{label}.cycles: golden={golden.get('cycles')!r} "
+            f"current={current.get('cycles')!r}"
+        )
+    gold_stack = golden.get("stack", {})
+    new_stack = current.get("stack", {})
+    for category in sorted(set(gold_stack) | set(new_stack)):
+        gold = gold_stack.get(category, 0)
+        new = new_stack.get(category, 0)
+        if gold != new:
+            lines.append(
+                f"{label}.{category}: golden={gold} current={new} "
+                f"({new - gold:+d} cycles)"
+            )
+    return lines
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    return compute_current()
+
+
+def test_golden_file_exists():
+    if UPDATE:
+        pytest.skip("update mode: file is being rewritten")
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; generate it with "
+        "REPRO_UPDATE_GOLDEN=1 pytest tests/test_golden_cpistacks.py "
+        "(or python tools/regen_golden.py)"
+    )
+
+
+def test_cpi_stacks_match_golden(current):
+    if UPDATE:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"golden file rewritten at {GOLDEN_PATH}")
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    differences = []
+    for name in sorted(set(golden["workloads"]) | set(current["workloads"])):
+        differences += diff_stacks(
+            name,
+            golden["workloads"].get(name, {}),
+            current["workloads"].get(name, {}),
+        )
+    for index, (gold_cpu, new_cpu) in enumerate(
+        zip(golden["smp"], current["smp"])
+    ):
+        differences += diff_stacks(f"smp.cpu{index}", gold_cpu, new_cpu)
+
+    assert not differences, (
+        "CPI-stack attribution drifted from tests/golden/cpi_stacks.json:\n  "
+        + "\n  ".join(differences)
+        + "\nIf the change is intentional, re-bless with "
+        "REPRO_UPDATE_GOLDEN=1 pytest tests/test_golden_cpistacks.py"
+    )
+
+
+def test_golden_stacks_conserve(current):
+    """The pinned fixtures themselves satisfy the invariant."""
+    source = current
+    if not UPDATE and GOLDEN_PATH.exists():
+        source = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    for name, entry in source["workloads"].items():
+        assert total(entry["stack"]) == entry["cycles"], name
+    for index, cpu in enumerate(source["smp"]):
+        assert total(cpu["stack"]) == cpu["cycles"], f"cpu{index}"
+
+
+def test_golden_windows_match_base_config_golden():
+    """Both golden files must pin the same simulation windows."""
+    base_path = GOLDEN_PATH.parent / "base_config.json"
+    if not (GOLDEN_PATH.exists() and base_path.exists()):
+        pytest.skip("goldens not generated yet")
+    ours = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["_meta"]
+    theirs = json.loads(base_path.read_text(encoding="utf-8"))["_meta"]
+    assert ours == theirs

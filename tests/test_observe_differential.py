@@ -1,0 +1,90 @@
+"""Property-based differential test of the observability layer.
+
+Randomized synthetic traces are lowered to executable test programs by
+the ReverseTracer and replayed through both verification paths
+(:func:`repro.verify.cross_check`): the execution-driven logic-simulator
+analog and the trace-driven performance model.  For every seed/profile
+draw the two paths must agree on cycles *and* produce byte-identical CPI
+stacks — the accountant is a pure function of pipeline state, so any
+divergence is an observability bug even when the timing matches.
+
+Hypothesis draws are seeded and bounded (small traces, few examples) so
+the suite stays CI-fast while still exploring the profile × seed space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import base_config
+from repro.model.simulator import PerformanceModel
+from repro.observe.cpistack import total
+from repro.trace.stream import Trace
+from repro.trace.synth import generate_trace, standard_profiles
+from repro.verify import LogicSimulator, ReverseTracer, cross_check
+
+_PROFILES = sorted(standard_profiles())
+
+#: Keep each example small: the value is in the seed/profile diversity.
+_TRACE_LEN = 600
+
+
+def _synth_program(profile_name: str, seed: int):
+    trace = generate_trace(
+        standard_profiles()[profile_name], _TRACE_LEN, seed=seed
+    )
+    program, _fidelity = ReverseTracer().generate(trace)
+    return program
+
+
+@given(
+    profile=st.sampled_from(_PROFILES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(
+    max_examples=8,
+    deadline=None,
+    derandomize=True,  # fixed corpus: reproducible in CI
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_paths_agree_on_cycles_and_cpi_stack(profile, seed):
+    """cross_check enforces cycle AND CPI-stack agreement; both conserve."""
+    program = _synth_program(profile, seed)
+    result = cross_check(program, max_steps=4 * _TRACE_LEN)
+    assert result.cycles > 0
+    assert total(result.core.cpi_stack) == result.cycles
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(
+    max_examples=6,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_stack_is_deterministic(seed):
+    """The same trace simulated twice yields the identical stack."""
+    trace = generate_trace(standard_profiles()["SPECint95"], 500, seed=seed)
+    model = PerformanceModel(base_config())
+    first = model.run(Trace(trace.records, name="a"), warmup_fraction=0.0)
+    second = model.run(Trace(trace.records, name="b"), warmup_fraction=0.0)
+    assert first.core.cpi_stack == second.core.cpi_stack
+    assert first.cycles == second.cycles
+
+
+@given(
+    profile=st.sampled_from(_PROFILES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(
+    max_examples=4,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_execution_driven_path_conserves(profile, seed):
+    """The logic-simulator analog conserves cycles on replayed programs."""
+    program = _synth_program(profile, seed)
+    result = LogicSimulator(max_steps=4 * _TRACE_LEN).run(program)
+    assert total(result.core.cpi_stack) == result.cycles

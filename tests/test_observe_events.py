@@ -1,0 +1,156 @@
+"""Pipeline event-tracer tests: capture, ring mode, exporters, neutrality."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.workloads import workload_by_name
+from repro.model.config import base_config
+from repro.model.simulator import PerformanceModel
+from repro.observe import PipelineTracer
+from repro.observe.events import _PAYLOAD_FIELDS
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One small workload run with a full (unbounded) tracer attached."""
+    workload = workload_by_name("SPECint95", warm=2_000, timed=800)
+    tracer = PipelineTracer()
+    result = PerformanceModel(base_config()).run(
+        workload.trace(),
+        warmup_fraction=workload.warmup_fraction,
+        regions=workload.regions(),
+        tracer=tracer,
+    )
+    return result, tracer
+
+
+class TestCapture:
+    def test_every_lifecycle_kind_present(self, traced_run):
+        _, tracer = traced_run
+        kinds = {event[1] for event in tracer.events()}
+        assert {"fetch", "decode", "dispatch", "complete", "commit"} <= kinds
+
+    def test_commit_count_matches_instructions(self, traced_run):
+        result, tracer = traced_run
+        commits = sum(1 for e in tracer.events() if e[1] == "commit")
+        assert commits == result.instructions
+
+    def test_cancel_events_match_replays(self, traced_run):
+        result, tracer = traced_run
+        cancels = sum(1 for e in tracer.events() if e[1] == "cancel")
+        assert cancels == result.core.replays
+
+    def test_events_are_cycle_ordered_per_uop(self, traced_run):
+        _, tracer = traced_run
+        last_seen = {}
+        order = {"decode": 0, "dispatch": 1, "complete": 2, "commit": 3}
+        for cycle, kind, uop, _, _ in tracer.events():
+            if uop < 0 or kind not in order:
+                continue
+            prev = last_seen.get(uop)
+            if prev is not None:
+                # A replayed uop can dispatch again, but cycles never
+                # move backwards for the same uop.
+                assert cycle >= prev
+            last_seen[uop] = cycle
+
+    def test_records_structured_fields(self, traced_run):
+        _, tracer = traced_run
+        for record in tracer.records():
+            assert isinstance(record["cycle"], int)
+            kind = record["event"]
+            name_a, name_b = _PAYLOAD_FIELDS[kind]
+            extras = set(record) - {"cycle", "event", "uop"}
+            assert extras <= {name for name in (name_a, name_b) if name}
+
+    def test_timing_identical_with_and_without_tracer(self):
+        workload = workload_by_name("SPECfp95", warm=1_500, timed=600)
+        model = PerformanceModel(base_config())
+        kwargs = dict(
+            warmup_fraction=workload.warmup_fraction, regions=workload.regions()
+        )
+        plain = model.run(workload.trace(), **kwargs)
+        traced = model.run(workload.trace(), tracer=PipelineTracer(), **kwargs)
+        assert plain.as_dict(include_speed=False) == traced.as_dict(
+            include_speed=False
+        )
+        assert plain.core.cpi_stack == traced.core.cpi_stack
+
+
+class TestRingMode:
+    def test_ring_keeps_last_n(self):
+        tracer = PipelineTracer(capacity=10)
+        for i in range(25):
+            tracer.emit(i, "commit", i)
+        assert len(tracer) == 10
+        assert tracer.emitted == 25
+        assert tracer.dropped == 15
+        assert [e[0] for e in tracer.events()] == list(range(15, 25))
+
+    def test_full_mode_never_drops(self):
+        tracer = PipelineTracer()
+        for i in range(1000):
+            tracer.emit(i, "commit", i)
+        assert len(tracer) == 1000
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineTracer(capacity=0)
+
+    def test_ring_on_real_run_bounds_memory(self):
+        workload = workload_by_name("SPECint95", warm=1_500, timed=600)
+        tracer = PipelineTracer(capacity=64)
+        PerformanceModel(base_config()).run(
+            workload.trace(),
+            warmup_fraction=workload.warmup_fraction,
+            regions=workload.regions(),
+            tracer=tracer,
+        )
+        assert len(tracer) == 64
+        assert tracer.dropped == tracer.emitted - 64 > 0
+
+    def test_clear(self):
+        tracer = PipelineTracer()
+        tracer.emit(0, "commit", 0)
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExporters:
+    def test_jsonl_roundtrips(self, traced_run, tmp_path):
+        _, tracer = traced_run
+        path = tmp_path / "events.jsonl"
+        count = tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(tracer)
+        parsed = [json.loads(line) for line in lines[:100]]
+        assert all("cycle" in rec and "event" in rec for rec in parsed)
+
+    def test_chrome_trace_is_valid_and_sliced(self, traced_run, tmp_path):
+        _, tracer = traced_run
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(str(path), lanes=8)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert count == len(events) > 0
+        slices = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert slices and instants
+        for item in slices:
+            assert item["dur"] >= 0
+            assert 0 <= item["tid"] < 8
+
+    def test_chrome_trace_handles_partial_lifecycles(self, tmp_path):
+        # A uop with decode only (still in flight at capture end) and a
+        # bare cancel must not crash the exporter.
+        tracer = PipelineTracer()
+        tracer.emit(1, "decode", 7, 0x1000, "INT_ALU")
+        tracer.emit(2, "cancel", 9, 1)
+        path = tmp_path / "partial.json"
+        count = tracer.write_chrome_trace(str(path))
+        payload = json.loads(path.read_text())
+        assert count == len(payload["traceEvents"]) == 1  # just the instant

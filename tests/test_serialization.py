@@ -54,6 +54,42 @@ class TestSimResultRoundTrip:
             SimResult.from_dict(payload)
 
 
+class TestObservabilityRoundTrip:
+    """The observability fields survive the cache wire format exactly."""
+
+    def test_cpi_stack_preserved(self, up_result):
+        assert up_result.core.cpi_stack  # populated by the accountant
+        clone = SimResult.from_dict(
+            json.loads(json.dumps(up_result.to_dict()))
+        )
+        assert clone.core.cpi_stack == up_result.core.cpi_stack
+
+    def test_cpi_stack_conserves_after_roundtrip(self, up_result):
+        from repro.observe.cpistack import total
+
+        clone = SimResult.from_dict(up_result.to_dict())
+        assert total(clone.core.cpi_stack) == clone.cycles
+
+    def test_registry_metrics_identical_after_roundtrip(self, up_result):
+        clone = SimResult.from_dict(up_result.to_dict())
+        assert clone.metrics() == up_result.metrics()
+
+    def test_metrics_cover_observability_namespaces(self, up_result):
+        from repro.observe.registry import metric_names
+
+        metrics = up_result.metrics()
+        names = metric_names()
+        assert any(key.startswith("cpistack.") for key in metrics)
+        assert any(key.startswith("decode_stalls.") for key in metrics)
+        assert set(metrics) <= set(names)
+
+    def test_cpi_stack_report_stable_after_roundtrip(self, up_result):
+        clone = SimResult.from_dict(up_result.to_dict())
+        report = clone.cpi_stack_report()
+        assert report == up_result.cpi_stack_report()
+        assert report  # non-empty for a populated stack
+
+
 class TestSmpResultRoundTrip:
     def test_json_roundtrip_exact(self, smp_result):
         clone = SmpResult.from_dict(
@@ -72,6 +108,7 @@ class TestSmpResultRoundTrip:
         assert len(clone.per_cpu) == smp_result.cpu_count
         for mine, theirs in zip(clone.per_cpu, smp_result.per_cpu):
             assert mine.as_dict() == theirs.as_dict()
+            assert mine.core.cpi_stack == theirs.core.cpi_stack
 
     def test_unknown_field_rejected(self, smp_result):
         payload = smp_result.to_dict()
