@@ -1,0 +1,77 @@
+"""Sampled-simulation speedup guard.
+
+Runs TPC-C both ways — full detailed simulation and the SMARTS-style
+sampled schedule validated in ``tests/test_sampling_validation.py`` —
+and records the speedup factor, the detailed-instruction reduction and
+the relative IPC error in ``BENCH_sampling.json``.  A PR that erodes
+the sampling speedup (e.g. by dragging detailed-mode work into the
+functional-warming path) or its accuracy shows up as a number here.
+"""
+
+import json
+import pathlib
+
+import conftest
+
+from repro.analysis.workloads import tpcc_workload
+from repro.model.config import base_config
+from repro.model.simulator import PerformanceModel
+from repro.trace.sampling import SamplingPlan
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_sampling.json"
+
+#: The schedule validated across all profiles by the statistical suite.
+PLAN = SamplingPlan(period=20800, sample_length=500, warmup=800, detail_warmup=1500)
+
+
+def test_sampling_speedup_and_error(benchmark):
+    workload = tpcc_workload(
+        warm=0, timed=max(PLAN.period * 15, int(310_000 * conftest.SCALE))
+    )
+    trace = workload.trace()
+    regions = workload.regions()
+    model = PerformanceModel(base_config())
+
+    results = {}
+
+    def run_both():
+        # Interleaved legs share any OS-level warmup/jitter evenly.
+        results["full"] = model.run(trace, warmup_fraction=0.0, regions=regions)
+        results["sampled"] = model.run_sampled(trace, PLAN, regions=regions)
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    full = results["full"]
+    sampled = results["sampled"]
+    # sim_speed is trace instructions per host second for both runs, so
+    # the ratio is the wall-clock speedup on the same trace.
+    speedup = sampled.sim_speed / full.sim_speed
+    rel_error = abs(sampled.ipc - full.ipc) / full.ipc
+    lo, hi = sampled.ipc_interval
+
+    payload = {
+        "workload": workload.name,
+        "trace_instructions": len(trace),
+        "plan": PLAN.key(),
+        "windows": sampled.window_count,
+        "detailed_instructions": sampled.detailed_instructions,
+        "detail_reduction": round(sampled.detail_reduction, 2),
+        "wall_clock_speedup": round(speedup, 2),
+        "full_ipc": round(full.ipc, 4),
+        "sampled_ipc": round(sampled.ipc, 4),
+        "sampled_ipc_ci95": [round(lo, 4), round(hi, 4)],
+        "relative_ipc_error": round(rel_error, 4),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nSampling: {sampled.detail_reduction:.1f}x fewer detailed "
+        f"instructions, {speedup:.1f}x wall-clock, IPC error "
+        f"{rel_error:.1%}; recorded in {BENCH_JSON.name}"
+    )
+
+    assert sampled.detail_reduction >= 10.0
+    # Functional warming costs real time, so wall-clock gains trail the
+    # detail reduction; below 2x the fast path has stopped being fast.
+    assert speedup >= 2.0
+    assert lo <= full.ipc <= hi
+    assert rel_error < 0.25

@@ -59,7 +59,7 @@ from repro.common import faults
 from repro.common.errors import ExperimentError
 from repro.model.config import MachineConfig
 from repro.model.simulator import PerformanceModel
-from repro.model.stats import SimResult
+from repro.model.stats import SimResult, sim_result_from_dict
 from repro.smp.system import SmpResult, run_smp
 
 #: (config, workload) pair for a uniprocessor prefetch.
@@ -69,8 +69,18 @@ SmpRequest = Tuple[MachineConfig, Workload, int]
 
 
 def _run_up(config: MachineConfig, workload: Workload) -> SimResult:
-    """One uniprocessor simulation, in whichever process this runs."""
-    return PerformanceModel(config).run(
+    """One uniprocessor simulation, in whichever process this runs.
+
+    A workload carrying a :class:`~repro.trace.sampling.SamplingPlan`
+    runs sampled (the plan's per-window warm-up replaces the trace-prefix
+    warm-up fraction); otherwise it runs in full detail.
+    """
+    model = PerformanceModel(config)
+    if workload.sampling is not None:
+        return model.run_sampled(
+            workload.trace(), workload.sampling, regions=workload.regions()
+        )
+    return model.run(
         workload.trace(),
         warmup_fraction=workload.warmup_fraction,
         regions=workload.regions(),
@@ -388,7 +398,7 @@ class ParallelRunner(ExperimentRunner):
         if payload is None:
             return None
         try:
-            return SimResult.from_dict(payload)
+            return sim_result_from_dict(payload)
         except (ValueError, TypeError, KeyError):
             # Payload from an incompatible writer: treat as a miss.
             return None
@@ -772,7 +782,7 @@ class ParallelRunner(ExperimentRunner):
     ) -> None:
         if kind == "up":
             key, config, workload = item
-            result = SimResult.from_dict(payload)
+            result = sim_result_from_dict(payload)
             label = f"{workload.name}@{config.name}"
             self._up_cache[key] = result
             self._disk_store_up(key, result, workload)

@@ -23,6 +23,7 @@ from repro.analysis.runner import ExperimentRunner, ParallelRunner
 from repro.analysis.workloads import Workload, smp_workload, workload_by_name
 from repro.frontend.bht import BhtParams
 from repro.model.config import MachineConfig, base_config
+from repro.model.stats import SampledSimResult
 
 
 def _default_runner(jobs: int) -> ExperimentRunner:
@@ -30,6 +31,21 @@ def _default_runner(jobs: int) -> ExperimentRunner:
     if jobs > 1:
         return ParallelRunner(jobs=jobs)
     return ExperimentRunner()
+
+
+def _ipc_error_series(results: Sequence) -> Optional[List[Optional[float]]]:
+    """95 % IPC half-widths when any result is sampled, else ``None``.
+
+    Sweeps over sampled runs report their sampling error alongside the
+    point estimates, so a trend smaller than the error bars is visibly
+    not a trend.
+    """
+    if not any(isinstance(result, SampledSimResult) for result in results):
+        return None
+    return [
+        result.ipc_half_width if isinstance(result, SampledSimResult) else None
+        for result in results
+    ]
 
 
 @dataclass
@@ -92,23 +108,26 @@ def l2_size_sweep(
         for size in sizes_mb
     ]
     runner.prefetch(up=[(config, workload) for config in configs])
-    ipcs: List[Optional[float]] = []
-    misses: List[Optional[float]] = []
-    missing: List[str] = []
-    for config in configs:
-        result = runner.try_run(config, workload)
-        if result is None:
-            missing.append(f"{workload.name}@{config.name}")
-            ipcs.append(None)
-            misses.append(None)
-            continue
-        ipcs.append(result.ipc)
-        misses.append(result.miss_ratio("l2"))
+    results = [runner.try_run(config, workload) for config in configs]
+    missing = [
+        f"{workload.name}@{config.name}"
+        for config, result in zip(configs, results)
+        if result is None
+    ]
+    series: Dict[str, List[Optional[float]]] = {
+        "IPC": [r.ipc if r is not None else None for r in results],
+        "L2 miss ratio": [
+            r.miss_ratio("l2") if r is not None else None for r in results
+        ],
+    }
+    errors = _ipc_error_series(results)
+    if errors is not None:
+        series["IPC ±95%"] = errors
     return SweepResult(
         title=f"L2 capacity sweep on {workload.name}",
         axis="L2 (MB)",
         points=list(sizes_mb),
-        series={"IPC": ipcs, "L2 miss ratio": misses},
+        series=series,
         missing=missing,
     )
 
@@ -134,11 +153,17 @@ def window_size_sweep(
         for config, result in zip(configs, results)
         if result is None
     ]
+    series: Dict[str, List[Optional[float]]] = {
+        "IPC": [r.ipc if r is not None else None for r in results]
+    }
+    errors = _ipc_error_series(results)
+    if errors is not None:
+        series["IPC ±95%"] = errors
     return SweepResult(
         title=f"Instruction-window sweep on {workload.name}",
         axis="window",
         points=list(sizes),
-        series={"IPC": [r.ipc if r is not None else None for r in results]},
+        series=series,
         missing=missing,
     )
 
@@ -162,23 +187,26 @@ def bht_size_sweep(
         for entries in entry_counts
     ]
     runner.prefetch(up=[(config, workload) for config in configs])
-    rates: List[Optional[float]] = []
-    ipcs: List[Optional[float]] = []
-    missing: List[str] = []
-    for config in configs:
-        result = runner.try_run(config, workload)
-        if result is None:
-            missing.append(f"{workload.name}@{config.name}")
-            rates.append(None)
-            ipcs.append(None)
-            continue
-        rates.append(result.bht_misprediction_ratio)
-        ipcs.append(result.ipc)
+    results = [runner.try_run(config, workload) for config in configs]
+    missing = [
+        f"{workload.name}@{config.name}"
+        for config, result in zip(configs, results)
+        if result is None
+    ]
+    series: Dict[str, List[Optional[float]]] = {
+        "mispredict ratio": [
+            r.bht_misprediction_ratio if r is not None else None for r in results
+        ],
+        "IPC": [r.ipc if r is not None else None for r in results],
+    }
+    errors = _ipc_error_series(results)
+    if errors is not None:
+        series["IPC ±95%"] = errors
     return SweepResult(
         title=f"BHT capacity sweep on {workload.name}",
         axis="entries",
         points=list(entry_counts),
-        series={"mispredict ratio": rates, "IPC": ipcs},
+        series=series,
         missing=missing,
     )
 

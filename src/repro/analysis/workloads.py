@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError
+from repro.trace.sampling import SamplingPlan
 from repro.trace.stream import Trace
 from repro.trace.synth import TraceGenerator, WorkloadProfile, standard_profiles
 
@@ -36,6 +37,9 @@ class Workload:
     #: Dynamic-sample seed; None = same as ``seed``.  A different sample
     #: seed yields a different capture of the *same* static program.
     sample_seed: Optional[int] = None
+    #: When set, uniprocessor runs use SMARTS-style sampled simulation
+    #: with this schedule instead of a full detailed run.
+    sampling: Optional[SamplingPlan] = None
     _generator: Optional[TraceGenerator] = field(default=None, repr=False)
     _trace: Optional[Trace] = field(default=None, repr=False)
 
@@ -70,6 +74,7 @@ class Workload:
                 f"sample={self.sample_seed}",
                 f"warm={self.warm_instructions}",
                 f"timed={self.timed_instructions}",
+                f"sampling={self.sampling.key() if self.sampling else 'none'}",
                 f"profile={content_hash(self.profile)}",
             )
         )

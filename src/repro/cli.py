@@ -59,18 +59,90 @@ def _cmd_table1(args: argparse.Namespace) -> None:
     print(_config_by_name(args.config).table1())
 
 
+def _sampling_plan(args: argparse.Namespace):
+    """Build a :class:`SamplingPlan` from CLI flags, or ``None``."""
+    period = getattr(args, "sample_period", None)
+    length = getattr(args, "sample_length", None)
+    if period is None and length is None:
+        return None
+    if period is None or length is None:
+        raise SystemExit(
+            "sampled simulation needs both --sample-period and --sample-length"
+        )
+    from repro.common.errors import TraceError
+    from repro.trace.sampling import SamplingPlan
+
+    try:
+        return SamplingPlan(
+            period=period,
+            sample_length=length,
+            warmup=getattr(args, "sample_warmup", 0) or 0,
+        )
+    except TraceError as exc:
+        raise SystemExit(f"bad sampling plan: {exc}")
+
+
+def _add_sampling_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "sampling",
+        "SMARTS-style sampled simulation: one detailed measurement window "
+        "every --sample-period instructions, fast-forwarding in between. "
+        "Results carry 95%% confidence intervals. (SMP runs ignore these.)",
+    )
+    group.add_argument(
+        "--sample-period", type=_positive_int, default=None, metavar="N",
+        help="instructions between the starts of consecutive windows",
+    )
+    group.add_argument(
+        "--sample-length", type=_positive_int, default=None, metavar="N",
+        help="measured instructions per window",
+    )
+    group.add_argument(
+        "--sample-warmup", "--warmup", type=int, default=0, metavar="N",
+        dest="sample_warmup",
+        help="functional-warming instructions before each window's "
+             "detailed region (default 0; caches/BHT/TLBs also persist "
+             "across windows)",
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     from repro.analysis.workloads import workload_by_name
     from repro.model.simulator import PerformanceModel
 
     workload = workload_by_name(args.workload, warm=args.warm, timed=args.timed)
     config = _config_by_name(args.config)
+    plan = _sampling_plan(args)
 
     tracer = None
     if args.trace_events:
+        if plan is not None:
+            raise SystemExit(
+                "--trace-events captures a contiguous detailed run and is "
+                "not supported with sampled simulation"
+            )
         from repro.observe import PipelineTracer
 
         tracer = PipelineTracer(capacity=args.trace_ring)
+
+    if plan is not None:
+        print(
+            f"sampling {workload.name} ({len(workload.trace()):,} instructions, "
+            f"plan {plan.key()}) on {config.name} ..."
+        )
+        result = PerformanceModel(config).run_sampled(
+            workload.trace(), plan, regions=workload.regions()
+        )
+        print(result.summary())
+        print()
+        print("estimates (95% confidence intervals):")
+        print(result.estimates_report())
+        stack = result.cpi_stack_report()
+        if stack:
+            print()
+            print("CPI stack (cycle attribution, measured windows):")
+            print(stack)
+        return
 
     print(f"simulating {workload.name} ({args.timed:,} timed instructions) "
           f"on {config.name} ...")
@@ -211,6 +283,10 @@ def _cmd_figures(args: argparse.Namespace) -> None:
     )
 
     workloads = standard_workloads(warm=args.warm, timed=args.timed)
+    plan = _sampling_plan(args)
+    if plan is not None:
+        for workload in workloads:
+            workload.sampling = plan
     runner = _make_runner(args, campaign=f"figures-{args.figure}")
     figure_map = {
         "7": lambda: fig07_characteristics(workloads, runner=runner),
@@ -259,9 +335,12 @@ def _cmd_sweeps(args: argparse.Namespace) -> None:
     )
 
     runner = _make_runner(args, campaign=f"sweeps-{args.sweep}")
+    plan = _sampling_plan(args)
 
     def sized(name):
-        return workload_by_name(name, warm=args.warm, timed=args.timed)
+        workload = workload_by_name(name, warm=args.warm, timed=args.timed)
+        workload.sampling = plan
+        return workload
 
     sweep_map = {
         "l2": lambda: l2_size_sweep(runner=runner, workload=sized("TPC-C")),
@@ -428,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ring-buffer mode: keep only the last N events "
              "(default: keep everything)",
     )
+    _add_sampling_options(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
@@ -437,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--timed", type=int, default=25_000)
     p_fig.add_argument("--smp-cpus", type=int, default=16)
     _add_runner_options(p_fig)
+    _add_sampling_options(p_fig)
     p_fig.set_defaults(func=_cmd_figures)
 
     p_sweeps = sub.add_parser("sweeps", help="run supplemental parameter sweeps")
@@ -447,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweeps.add_argument("--warm", type=int, default=100_000)
     p_sweeps.add_argument("--timed", type=int, default=25_000)
     _add_runner_options(p_sweeps)
+    _add_sampling_options(p_sweeps)
     p_sweeps.set_defaults(func=_cmd_sweeps)
 
     p_analyze = sub.add_parser(

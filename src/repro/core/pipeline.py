@@ -51,7 +51,7 @@ from repro.core.params import CoreParams, RsOrganization
 from repro.core.rename import RenameTracker
 from repro.core.reservation import ReservationStation, StationGroup
 from repro.core.uop import FAR_FUTURE, Uop, UopState
-from repro.frontend.bht import BhtParams
+from repro.frontend.bht import BhtParams, BranchHistoryTable
 from repro.frontend.fetch import FetchedInstruction, FetchUnit, FrontEndParams
 from repro.isa.opcodes import OpClass, uses_rsa, uses_rsbr, uses_rse, uses_rsf
 from repro.memory.hierarchy import MemoryHierarchy
@@ -61,6 +61,59 @@ from repro.trace.stream import Trace
 
 #: Abort threshold for a wedged simulation (no activity, no wake events).
 _DEADLOCK_LIMIT = 100_000
+
+
+def functional_warm(
+    hierarchy: MemoryHierarchy, bht, records, prefetch: bool = False
+) -> int:
+    """Update caches/TLBs/predictor with ``records``, without timing.
+
+    The functional-warming mode of sampled simulation: between detailed
+    windows the instruction stream only maintains micro-architectural
+    *contents* — cache tags, TLB entries, BHT counters — so a window
+    starts from realistic state without paying detailed-simulation cost.
+    State changes mirror the timed path's fill and training decisions.
+    ``prefetch=True`` also keeps the L2 prefetch engine in sync (see
+    :meth:`MemoryHierarchy.warm_fetch`).  Returns the number of records
+    processed.
+    """
+    count = 0
+    for record in records:
+        hierarchy.warm_fetch(record.pc, prefetch=prefetch)
+        if record.is_memory:
+            hierarchy.warm_data(record.ea, record.is_store, prefetch=prefetch)
+        elif record.op == OpClass.BRANCH_COND and bht is not None:
+            bht.warm(record.pc, record.taken)
+        count += 1
+    return count
+
+
+def _cache_counts(cache) -> Dict[str, int]:
+    """Raw (un-ratioed) counters of one cache, for snapshot differencing."""
+    stats = cache.stats
+    return {
+        "demand_accesses": stats.demand_accesses,
+        "demand_misses": stats.demand_misses,
+        "prefetch_accesses": stats.prefetch_accesses,
+        "prefetch_misses": stats.prefetch_misses,
+        "writebacks": stats.writebacks,
+        "invalidations_received": stats.invalidations_received,
+        "prefetch_useful": stats.prefetch_useful,
+    }
+
+
+def _diff_snapshots(start: Dict[str, object], end: Dict[str, object]) -> Dict[str, object]:
+    """Counter-wise ``end - start``; every counter is monotone between them."""
+    out: Dict[str, object] = {}
+    for key, after in end.items():
+        before = start[key]
+        if isinstance(after, dict):
+            keys = set(after) | set(before)
+            out[key] = {k: after.get(k, 0) - before.get(k, 0) for k in keys}
+        else:
+            out[key] = after - before
+    out["cpi_stack"] = prune(out["cpi_stack"])
+    return out
 
 
 @dataclass
@@ -111,10 +164,11 @@ class ProcessorCore:
         core_params: CoreParams,
         frontend_params: FrontEndParams,
         bht_params: BhtParams,
+        bht: Optional[BranchHistoryTable] = None,
     ) -> None:
         self.params = core_params
         self.hierarchy = hierarchy
-        self.fetch = FetchUnit(trace, hierarchy, bht_params, frontend_params)
+        self.fetch = FetchUnit(trace, hierarchy, bht_params, frontend_params, bht=bht)
         self.lsu = LoadStoreUnit(core_params, hierarchy)
         self.rename = RenameTracker(core_params.int_rename, core_params.fp_rename)
         self._build_stations(core_params)
@@ -235,6 +289,114 @@ class ProcessorCore:
                 cycle = self._next_cycle(cycle)
         self.finalize_stats(cycle)
         return self.stats
+
+    # ------------------------------------------------------------------
+    # Windowed measurement (sampled simulation).
+    # ------------------------------------------------------------------
+
+    def run_measured(
+        self,
+        measure_start: int,
+        measure_end: int,
+        max_cycles: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Run in detail, measuring only commits ``measure_start..measure_end``.
+
+        The counter snapshot taken when the ``measure_start``-th commit
+        is crossed is subtracted from the one taken at the
+        ``measure_end``-th, so the leading instructions prime the
+        pipeline in detailed mode without polluting the measurement, and
+        the run stops as soon as the measured span has committed —
+        trailing trace records (the drain pad) only serve to keep fetch
+        busy through the end of the measured span.  Returns the flat
+        measured-counter dict consumed by
+        :mod:`repro.analysis.estimate`; the measured CPI stack conserves
+        the measured cycles exactly.
+        """
+        if not 0 <= measure_start < measure_end:
+            raise SimulationError("need 0 <= measure_start < measure_end")
+        cycle = 0
+        idle_streak = 0
+        start_snap = self._snapshot() if measure_start == 0 else None
+        end_snap = None
+        while not self.finished:
+            if max_cycles is not None and cycle > max_cycles:
+                raise SimulationError(f"exceeded max_cycles={max_cycles}")
+            if self.step_cycle(cycle):
+                idle_streak = 0
+                advanced = cycle + 1
+            else:
+                idle_streak += 1
+                if idle_streak > _DEADLOCK_LIMIT:
+                    raise SimulationError(
+                        f"deadlock at cycle {cycle}: committed {self._committed}/"
+                        f"{self._trace_length}, window {self._window_size()}"
+                    )
+                advanced = self._next_cycle(cycle)
+            if start_snap is None and self._committed >= measure_start:
+                start_snap = self._snapshot()
+            if self._committed >= measure_end:
+                end_snap = self._snapshot()
+                break
+            cycle = advanced
+        if start_snap is None:
+            raise SimulationError(
+                f"measurement start {measure_start} beyond trace "
+                f"({self._committed} instructions committed)"
+            )
+        if end_snap is None:
+            # Trace shorter than requested: measure through the last commit.
+            end_snap = self._snapshot()
+        measured = _diff_snapshots(start_snap, end_snap)
+        verify_conservation(
+            measured["cpi_stack"],
+            measured["cycles"],
+            where=f"measured window of trace {self._trace_name!r}",
+        )
+        return measured
+
+    def _snapshot(self) -> Dict[str, object]:
+        """Copy every measured counter at the current accounting point.
+
+        ``step_cycle`` attributes each cycle before returning, so after
+        any step the stack total equals ``_accounted_until`` exactly and
+        a snapshot difference inherits CPI-stack conservation.
+        """
+        hierarchy = self.hierarchy
+        bht_stats = self.fetch.bht.stats
+        return {
+            "cycles": self._accounted_until,
+            "instructions": self._committed,
+            "cpi_stack": dict(self._stack),
+            "loads": self.stats.loads,
+            "stores": self.stats.stores,
+            "branches": self.stats.branches,
+            "replays": self.stats.replays,
+            "dispatches": self.stats.dispatches,
+            "bank_conflicts": self.lsu.bank_conflicts,
+            "store_forwards": self.lsu.forwards,
+            "order_stalls": self.lsu.order_stalls,
+            "fetch_icache_stall_cycles": self.fetch.icache_stall_cycles,
+            "fetch_taken_bubble_cycles": self.fetch.taken_bubble_cycles,
+            "branch_mispredictions": bht_stats.mispredictions,
+            "conditional_branches": bht_stats.conditional_branches,
+            "decode_stalls": dict(self._decode_stalls),
+            "load_level_counts": dict(self._load_levels),
+            "l1i": _cache_counts(hierarchy.l1i),
+            "l1d": _cache_counts(hierarchy.l1d),
+            "l2": _cache_counts(hierarchy.l2),
+            "itlb": {
+                "accesses": hierarchy.itlb.stats.accesses,
+                "misses": hierarchy.itlb.stats.misses,
+            },
+            "dtlb": {
+                "accesses": hierarchy.dtlb.stats.accesses,
+                "misses": hierarchy.dtlb.stats.misses,
+            },
+            "l1_l2_bus_busy": hierarchy.l1_l2_bus.busy_cycles,
+            "system_bus_busy": hierarchy.system_bus.busy_cycles,
+            "prefetches_issued": hierarchy.prefetcher.stats.issued,
+        }
 
     def finalize_stats(self, cycles: int) -> CoreStats:
         """Populate the statistics object after the last commit.

@@ -110,6 +110,16 @@ class BranchHistoryTable:
             return False
         return entry.counter >= 2
 
+    def warm(self, pc: int, taken: bool) -> None:
+        """Functionally train the predictor with one resolved branch.
+
+        Used by warm-up phases (full-run trace prefix, sampled-simulation
+        per-window warming): identical table updates to the timed path,
+        with the prediction looked up first so accuracy counters stay
+        meaningful until the caller resets them.
+        """
+        self.update(pc, taken, self.predict(pc))
+
     def update(self, pc: int, taken: bool, predicted: bool) -> None:
         """Train the table with the resolved outcome and log accuracy."""
         self._clock += 1

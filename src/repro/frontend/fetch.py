@@ -90,9 +90,12 @@ class FetchUnit:
         hierarchy: MemoryHierarchy,
         bht_params: BhtParams,
         params: FrontEndParams,
+        bht: Optional[BranchHistoryTable] = None,
     ) -> None:
         self.params = params
-        self.bht = BranchHistoryTable(bht_params)
+        #: ``bht`` lets sampled simulation share one persistent predictor
+        #: across per-window cores; by default each core gets its own.
+        self.bht = bht if bht is not None else BranchHistoryTable(bht_params)
         self.ras = ReturnAddressStack(params.ras_depth)
         self._hierarchy = hierarchy
         self._records = trace.records

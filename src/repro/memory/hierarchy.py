@@ -181,6 +181,83 @@ class MemoryHierarchy:
         return self.l1d.bank_of(addr)
 
     # ------------------------------------------------------------------
+    # Functional-warming mode (no timing) and sampled-simulation resets.
+    # ------------------------------------------------------------------
+
+    def warm_fetch(self, pc: int, prefetch: bool = False) -> None:
+        """Functionally touch the instruction-side structures for ``pc``.
+
+        Tag/LRU/TLB state changes exactly as a timed fetch would change
+        it, but no cycles pass: no MSHRs, buses or memory channels are
+        reserved.  Fill decisions mirror the timed path.
+
+        ``prefetch=True`` additionally trains the L2 prefetch engine on
+        the miss stream and installs its prefetches (sampled simulation
+        needs this: prefetched-ahead lines are part of steady-state L2
+        contents, and windows are too short to re-detect streams).
+        """
+        self.itlb.translate(pc)
+        if not self.l1i.lookup(pc):
+            if prefetch:
+                self._warm_prefetches(self.l1i.line_addr(pc))
+            if not self.l2.lookup(pc):
+                self.l2.fill(pc)
+            self.l1i.fill(pc)
+
+    def warm_data(self, addr: int, is_write: bool, prefetch: bool = False) -> None:
+        """Functionally touch the data-side structures for ``addr``.
+
+        Stores dirty their lines (MODIFIED install), loads install
+        EXCLUSIVE — the same states the timed path uses.  ``prefetch``
+        as in :meth:`warm_fetch`.
+        """
+        self.dtlb.translate(addr)
+        if not self.l1d.lookup(addr, is_write=is_write):
+            if prefetch:
+                self._warm_prefetches(self.l1d.line_addr(addr))
+            state = LineState.MODIFIED if is_write else LineState.EXCLUSIVE
+            if not self.l2.lookup(addr, is_write=is_write):
+                self.l2.fill(addr, state=state)
+            self.l1d.fill(addr, state=state)
+
+    def _warm_prefetches(self, line: int) -> None:
+        """Train the prefetcher on a warm-mode L1 miss; install its lines.
+
+        Installing matters as much as training: prefetched-ahead lines
+        are part of steady-state L2 *contents*.  Without them a detailed
+        window starts with demand misses saturating the L2 MSHRs, which
+        drops every new prefetch — a self-sustaining prefetchless
+        equilibrium the full run never visits.  The detailed-warmup
+        prefix of each window then rebuilds realistic bus and memory
+        pressure on top of this state.
+        """
+        for prefetch_addr in self.prefetcher.on_demand_miss(line):
+            target = self.l2.line_addr(prefetch_addr)
+            if self.l2.probe(target) is None:
+                self.l2.fill(target, from_prefetch=True)
+
+    def reset_timing(self) -> None:
+        """Forget every busy-until reservation; keep cache/TLB contents.
+
+        Sampled simulation restarts each detailed window at cycle 0 with
+        micro-architectural *contents* carried over.  Outstanding MSHR
+        fills, bus occupancy and memory-channel reservations are
+        timestamps against the previous window's timeline and must be
+        dropped, or they would stall the new window for its whole life.
+        Not supported on SMP hierarchies, where the system bus and
+        memory controller are shared with other cores mid-flight.
+        """
+        if self.coherence is not None:
+            raise ConfigError("cannot reset timing on a coherent (SMP) hierarchy")
+        self.l1i_mshr.clear()
+        self.l1d_mshr.clear()
+        self.l2_mshr.clear()
+        self.l1_l2_bus.reset()
+        self.system_bus.reset()
+        self.memory.reset()
+        self._pending_level.clear()
+
+    # ------------------------------------------------------------------
     # L1 level.
     # ------------------------------------------------------------------
 
@@ -246,7 +323,12 @@ class MemoryHierarchy:
         mshr.allocate(line, ready, issue_cycle)
         self._pending_level[line] = l2_result.level
         if len(self._pending_level) > 4096:
-            self._pending_level.clear()
+            # Bound the map by evicting the oldest half (insertion order).
+            # Old entries are almost always completed fills; clearing the
+            # whole map would instead misattribute every still-in-flight
+            # wait to the default "l2" level for a while.
+            for stale in list(self._pending_level)[:2048]:
+                del self._pending_level[stale]
 
         for prefetch_addr in prefetch_lines:
             self._issue_prefetch(issue_cycle, prefetch_addr)

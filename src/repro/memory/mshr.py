@@ -61,6 +61,15 @@ class MshrFile:
             return 0
         return min(self._entries.values())
 
+    def clear(self) -> None:
+        """Drop every outstanding entry (keeps the counters).
+
+        Used when the clock is rewound between sampled-simulation
+        windows: ready cycles recorded against the old timeline would
+        otherwise pin lines "in flight" for most of the next window.
+        """
+        self._entries.clear()
+
     def allocate(self, line_addr: int, ready_cycle: int, cycle: int) -> None:
         """Record a new outstanding fill; caller must have checked capacity."""
         self._reclaim(cycle)

@@ -18,13 +18,12 @@ import time
 from typing import Optional
 
 from repro.common.errors import ConfigError
-from repro.core.pipeline import ProcessorCore
+from repro.core.pipeline import ProcessorCore, functional_warm
 from repro.frontend.bht import BranchHistoryTable
-from repro.isa.opcodes import OpClass
-from repro.memory.cache import LineState
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.model.config import MachineConfig
-from repro.model.stats import SimResult
+from repro.model.stats import SampledSimResult, SimResult
+from repro.trace.sampling import SamplingPlan
 from repro.trace.stream import Trace
 
 
@@ -97,36 +96,16 @@ def warm_structures(
     """Functionally touch caches/TLBs/BHT with ``trace`` (no timing).
 
     Fill decisions mirror the timed path: L1 and L2 are filled on misses,
-    stores dirty their lines, branches train the predictor.  Statistics
-    are reset afterwards so the timed region starts from zero counters.
+    stores dirty their lines, branches train the predictor (see
+    :func:`repro.core.pipeline.functional_warm`, which sampled simulation
+    shares).  Statistics are reset afterwards so the timed region starts
+    from zero counters.
     """
-    l1i, l1d, l2 = hierarchy.l1i, hierarchy.l1d, hierarchy.l2
-    for record in trace.records:
-        hierarchy.itlb.translate(record.pc)
-        if not l1i.lookup(record.pc):
-            if not l2.lookup(record.pc):
-                l2.fill(record.pc)
-            l1i.fill(record.pc)
-        if record.is_memory:
-            hierarchy.dtlb.translate(record.ea)
-            is_write = record.is_store
-            if not l1d.lookup(record.ea, is_write=is_write):
-                if not l2.lookup(record.ea, is_write=is_write):
-                    l2.fill(
-                        record.ea,
-                        state=LineState.MODIFIED if is_write else LineState.EXCLUSIVE,
-                    )
-                l1d.fill(
-                    record.ea,
-                    state=LineState.MODIFIED if is_write else LineState.EXCLUSIVE,
-                )
-        elif record.op == OpClass.BRANCH_COND and bht is not None:
-            predicted = bht.predict(record.pc)
-            bht.update(record.pc, record.taken, predicted)
+    functional_warm(hierarchy, bht, trace.records)
     # Reset statistics accumulated during warming.
-    l1i.stats.__init__()
-    l1d.stats.__init__()
-    l2.stats.__init__()
+    hierarchy.l1i.stats.__init__()
+    hierarchy.l1d.stats.__init__()
+    hierarchy.l2.stats.__init__()
     hierarchy.itlb.stats.__init__()
     hierarchy.dtlb.stats.__init__()
     if bht is not None:
@@ -201,6 +180,128 @@ class PerformanceModel:
             prefetches_issued=hierarchy.prefetcher.stats.issued,
             sim_speed=core_stats.instructions / elapsed,
             warmup_instructions=split,
+        )
+
+    def run_sampled(
+        self,
+        trace: Trace,
+        plan: SamplingPlan,
+        regions: Optional[dict] = None,
+    ) -> SampledSimResult:
+        """SMARTS-style sampled simulation of ``trace``.
+
+        The schedule in ``plan`` places a measurement window every
+        ``period`` instructions.  Instructions between detailed windows
+        are *functionally warmed* — caches, TLBs and the BHT see every
+        reference, but nothing is timed — so long-lived state tracks the
+        full run closely (SMARTS' always-on functional warming; skipping
+        the gaps outright leaves stale cache/predictor state and biases
+        every window's CPI upward).  Each window then runs
+        ``detail_warmup + sample_length + drain_pad`` instructions
+        through the detailed core, measuring only the middle span (see
+        :meth:`ProcessorCore.run_measured`).  Per-window timing
+        reservations are rewound, since every window restarts at cycle 0.
+
+        Aggregated totals populate the usual :class:`SimResult` fields;
+        per-window dispersion yields the 95 % confidence intervals in
+        ``SampledSimResult.estimates``.
+        """
+        # Imported here: repro.analysis imports this module at package
+        # init, so a module-level import would be circular.
+        from repro.analysis import estimate
+
+        if len(trace) == 0:
+            raise ConfigError("cannot simulate an empty trace")
+        windows = list(plan.windows(len(trace)))
+        if not windows:
+            raise ConfigError(
+                f"sampling plan {plan.key()} schedules no windows in a "
+                f"{len(trace)}-instruction trace (needs >= {plan.span})"
+            )
+
+        config = self.config
+        hierarchy = build_hierarchy(config)
+        frontend = config.frontend
+        if config.perfect_branch_prediction and not frontend.perfect_prediction:
+            frontend = FrontEndParamsWithPerfect(frontend)
+        bht = BranchHistoryTable(config.bht)
+        if regions:
+            prewarm_regions(hierarchy, regions)
+
+        records = trace.records
+        measurements = []
+        warmed = 0
+        detailed = 0
+        cursor = 0  # everything before this index has been warmed or run
+        started = time.perf_counter()
+        for window in windows:
+            if cursor < window.detail_start:
+                warmed += functional_warm(
+                    hierarchy,
+                    bht,
+                    records[cursor : window.detail_start],
+                    prefetch=True,
+                )
+            hierarchy.reset_timing()
+            window_trace = Trace(
+                records[window.detail_start : window.end],
+                name=f"{trace.name}#w{window.index}",
+                cpu=trace.cpu,
+            )
+            core = ProcessorCore(
+                window_trace, hierarchy, config.core, frontend, config.bht, bht=bht
+            )
+            detailed += len(window_trace)
+            measurements.append(
+                core.run_measured(
+                    window.measure_start - window.detail_start,
+                    window.measure_end - window.detail_start,
+                )
+            )
+            cursor = window.end
+        elapsed = max(time.perf_counter() - started, 1e-9)
+
+        core_stats = estimate.merge_core_stats(measurements)
+        estimates = estimate.compute_estimates(measurements)
+        itlb = estimate.sum_counts([m["itlb"] for m in measurements])
+        dtlb = estimate.sum_counts([m["dtlb"] for m in measurements])
+        cycles = max(core_stats.cycles, 1)
+        return SampledSimResult(
+            config_name=config.name,
+            trace_name=trace.name,
+            core=core_stats,
+            l1i=estimate.merge_cache_counts([m["l1i"] for m in measurements]),
+            l1d=estimate.merge_cache_counts([m["l1d"] for m in measurements]),
+            l2=estimate.merge_cache_counts([m["l2"] for m in measurements]),
+            itlb_miss_ratio=itlb["misses"] / max(itlb["accesses"], 1),
+            dtlb_miss_ratio=dtlb["misses"] / max(dtlb["accesses"], 1),
+            bht_misprediction_ratio=core_stats.misprediction_ratio,
+            system_bus_utilization=min(
+                1.0, sum(m["system_bus_busy"] for m in measurements) / cycles
+            ),
+            l1_l2_bus_utilization=min(
+                1.0, sum(m["l1_l2_bus_busy"] for m in measurements) / cycles
+            ),
+            prefetches_issued=sum(m["prefetches_issued"] for m in measurements),
+            # Effective speed: the whole trace covered per host second.
+            sim_speed=len(trace) / elapsed,
+            warmup_instructions=warmed,
+            sampling={
+                "period": plan.period,
+                "sample_length": plan.sample_length,
+                "warmup": plan.warmup,
+                "detail_warmup": plan.detail_warmup,
+                "drain_pad": plan.drain_pad,
+                "windows": len(windows),
+                "trace_instructions": len(trace),
+                "measured_instructions": core_stats.instructions,
+                "warmed_instructions": warmed,
+                "detailed_instructions": detailed,
+            },
+            estimates={name: est.to_dict() for name, est in estimates.items()},
+            window_instructions=[m["instructions"] for m in measurements],
+            window_cycles=[m["cycles"] for m in measurements],
+            window_stacks=[m["cpi_stack"] for m in measurements],
         )
 
 

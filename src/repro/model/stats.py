@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.pipeline import CoreStats
 
@@ -127,6 +127,113 @@ class SimResult:
         if unknown:
             raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
         return cls(core=core, **data)
+
+
+@dataclass
+class SampledSimResult(SimResult):
+    """A :class:`SimResult` produced by SMARTS-style sampled simulation.
+
+    ``core`` and the cache/TLB/bus fields hold the *measured* totals
+    summed over every detailed window (so all SimResult consumers — the
+    metrics registry, figures, sweeps — work unchanged), while
+    ``estimates`` carries the statistical view: a 95 % confidence
+    interval for IPC, CPI and every CPI-stack category, keyed ``"ipc"``,
+    ``"cpi"`` and ``"cpi.<category>"`` (see
+    :mod:`repro.analysis.estimate`).  ``sampling`` records the schedule
+    (period/length/warmup), the window count, and the
+    detailed-instruction budget versus the full trace length.  The
+    per-window vectors exist for diagnostics: when a validation check
+    fails, the per-window distribution is what explains why.
+    """
+
+    sampling: Dict[str, object] = field(default_factory=dict)
+    estimates: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    window_instructions: List[int] = field(default_factory=list)
+    window_cycles: List[int] = field(default_factory=list)
+    window_stacks: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def window_count(self) -> int:
+        return len(self.window_cycles)
+
+    @property
+    def detailed_instructions(self) -> int:
+        return int(self.sampling.get("detailed_instructions", 0))
+
+    @property
+    def trace_instructions(self) -> int:
+        return int(self.sampling.get("trace_instructions", 0))
+
+    @property
+    def detail_reduction(self) -> float:
+        """How many× fewer instructions ran in detail than the trace holds."""
+        if self.detailed_instructions == 0:
+            return 0.0
+        return self.trace_instructions / self.detailed_instructions
+
+    @property
+    def window_ipcs(self) -> List[float]:
+        return [
+            insts / cycles
+            for insts, cycles in zip(self.window_instructions, self.window_cycles)
+            if cycles
+        ]
+
+    def estimate(self, metric: str) -> Optional[Dict[str, float]]:
+        """The ``{mean, lo, hi, stddev, n}`` dict for one metric, if any."""
+        return self.estimates.get(metric)
+
+    @property
+    def ipc_interval(self) -> Tuple[float, float]:
+        est = self.estimates.get("ipc")
+        if not est:
+            return (self.ipc, self.ipc)
+        return (est["lo"], est["hi"])
+
+    @property
+    def ipc_half_width(self) -> float:
+        lo, hi = self.ipc_interval
+        return (hi - lo) / 2.0
+
+    def _as_dict(self) -> Dict[str, object]:
+        data = super()._as_dict()
+        data["sampled_windows"] = self.window_count
+        data["detailed_instructions"] = self.detailed_instructions
+        data["detail_reduction"] = round(self.detail_reduction, 1)
+        est = self.estimates.get("ipc")
+        if est:
+            data["ipc_ci95"] = f"[{est['lo']:.4f}, {est['hi']:.4f}]"
+        return data
+
+    def estimates_report(self) -> str:
+        """The confidence intervals rendered as aligned text."""
+        if not self.estimates:
+            return ""
+        rows = []
+        for name, est in self.estimates.items():
+            mean = est["mean"]
+            half = (est["hi"] - est["lo"]) / 2.0
+            rel = f"±{100.0 * half / mean:.1f}%" if mean else "±n/a"
+            rows.append((name, f"{mean:.4f}", f"[{est['lo']:.4f}, {est['hi']:.4f}]", rel))
+        name_w = max(len(r[0]) for r in rows)
+        mean_w = max(len(r[1]) for r in rows)
+        ci_w = max(len(r[2]) for r in rows)
+        lines = [
+            f"{name:<{name_w}}  {mean:>{mean_w}}  {ci:<{ci_w}}  {rel}"
+            for name, mean, ci, rel in rows
+        ]
+        header = f"{'metric':<{name_w}}  {'mean':>{mean_w}}  {'95% CI':<{ci_w}}"
+        return "\n".join([header] + lines)
+
+
+def sim_result_from_dict(payload: Dict[str, object]) -> SimResult:
+    """Rebuild a serialised result, sampled or not.
+
+    The on-disk experiment cache stores both kinds through one code
+    path; the ``sampling`` key marks the sampled flavour.
+    """
+    cls = SampledSimResult if "sampling" in payload else SimResult
+    return cls.from_dict(payload)
 
 
 def ipc_ratio(alternative: SimResult, baseline: SimResult) -> float:

@@ -12,7 +12,7 @@ footprints, branch predictability, and memory-access patterns.
 from repro.trace.record import TraceRecord, NO_REG, NO_ADDR
 from repro.trace.stream import Trace, TraceStats
 from repro.trace.io import read_trace, write_trace
-from repro.trace.sampling import sample_trace
+from repro.trace.sampling import SampleWindow, SamplingPlan, sample_trace
 
 __all__ = [
     "TraceRecord",
@@ -23,4 +23,6 @@ __all__ = [
     "read_trace",
     "write_trace",
     "sample_trace",
+    "SampleWindow",
+    "SamplingPlan",
 ]

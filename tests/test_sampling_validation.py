@@ -1,0 +1,151 @@
+"""Statistical validation of SMARTS-style sampled simulation.
+
+For every synthetic workload profile, a sampled run must reproduce the
+full detailed run within its own error bars while executing at least
+10x fewer instructions in detail:
+
+- the full-run IPC falls inside the sampled run's reported 95 %
+  confidence interval;
+- for each of the top-3 CPI-stack components (as ranked by the sampled
+  estimates — what a user of the method would read first), the full-run
+  value falls inside that component's 95 % CI;
+- ``detail_reduction`` (trace instructions / detailed instructions) is
+  at least 10.
+
+Assertion messages include the per-window distribution, because when a
+CI check fails the distribution is what explains it (one outlier window
+vs. a systematic shift).
+
+The known limitation, documented in EXPERIMENTS.md: attribution *between
+adjacent memory levels* (``dcache_l2`` vs ``dcache_mem``) is not
+validated individually when outside the sampled top-3.  Each detailed
+window restarts its timing at cycle 0, so queueing backlog on the
+L1<->L2 bus — which the full run attributes to ``dcache_l2`` waits on
+in-flight fills — partially re-materialises as memory-latency waits.
+The *combined* memory component and the IPC remain within the reported
+intervals; the split between adjacent levels does not, and pretending
+otherwise would be overfitting the test to one seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.workloads import workload_by_name
+from repro.model.config import base_config
+from repro.model.simulator import PerformanceModel
+from repro.trace.sampling import SamplingPlan
+
+#: Names of every synthetic workload profile in the standard suite.
+PROFILES = ("SPECint95", "SPECfp95", "SPECint2000", "SPECfp2000", "TPC-C")
+
+#: Long enough that the full run reaches steady state and the schedule
+#: places 15 windows at >= 10x detail reduction.
+TRACE_INSTRUCTIONS = 310_000
+
+#: The validated schedule: 500 measured instructions per window behind a
+#: 1500-instruction detailed warmup (short windows cannot rebuild memory
+#: system backlog, see EXPERIMENTS.md), 800 functionally-warmed
+#: instructions, one window every 20 800 instructions.
+PLAN = SamplingPlan(period=20800, sample_length=500, warmup=800, detail_warmup=1500)
+
+
+@pytest.fixture(scope="module", params=PROFILES)
+def profile_runs(request):
+    """(name, full SimResult, SampledSimResult) for one profile."""
+    name = request.param
+    workload = workload_by_name(name, warm=0, timed=TRACE_INSTRUCTIONS)
+    trace = workload.trace()
+    regions = workload.regions()
+    model = PerformanceModel(base_config())
+    full = model.run(trace, warmup_fraction=0.0, regions=regions)
+    sampled = model.run_sampled(trace, PLAN, regions=regions)
+    return name, full, sampled
+
+
+def _window_distribution(sampled) -> str:
+    """Per-window IPCs and CPI contributions, for failure messages."""
+    lines = [
+        f"windows={sampled.window_count} "
+        f"detailed={sampled.detailed_instructions} "
+        f"reduction={sampled.detail_reduction:.2f}x",
+        "per-window IPC: "
+        + ", ".join(f"{ipc:.3f}" for ipc in sampled.window_ipcs),
+    ]
+    categories = sorted(
+        {cat for stack in sampled.window_stacks for cat in stack}
+    )
+    for cat in categories:
+        values = [
+            stack.get(cat, 0) / max(n, 1)
+            for stack, n in zip(sampled.window_stacks, sampled.window_instructions)
+        ]
+        lines.append(
+            f"per-window cpi.{cat}: " + ", ".join(f"{v:.3f}" for v in values)
+        )
+    return "\n".join(lines)
+
+
+def test_detail_reduction_at_least_10x(profile_runs):
+    name, full, sampled = profile_runs
+    assert sampled.detail_reduction >= 10.0, (
+        f"{name}: sampled run executed {sampled.detailed_instructions} of "
+        f"{sampled.trace_instructions} instructions in detail "
+        f"({sampled.detail_reduction:.2f}x < 10x)\n"
+        + _window_distribution(sampled)
+    )
+
+
+def test_full_ipc_within_sampled_ci(profile_runs):
+    name, full, sampled = profile_runs
+    lo, hi = sampled.ipc_interval
+    assert lo <= full.ipc <= hi, (
+        f"{name}: full-run IPC {full.ipc:.4f} outside sampled 95% CI "
+        f"[{lo:.4f}, {hi:.4f}] (point estimate {sampled.ipc:.4f})\n"
+        + _window_distribution(sampled)
+    )
+
+
+def test_top_cpi_components_within_sampled_ci(profile_runs):
+    name, full, sampled = profile_runs
+    top3 = sorted(
+        (key for key in sampled.estimates if key.startswith("cpi.")),
+        key=lambda key: -sampled.estimates[key]["mean"],
+    )[:3]
+    assert len(top3) == 3, f"{name}: fewer than 3 CPI-stack components observed"
+    failures = []
+    for key in top3:
+        category = key[len("cpi."):]
+        estimate = sampled.estimates[key]
+        target = full.core.cpi_stack.get(category, 0) / full.core.instructions
+        if not estimate["lo"] <= target <= estimate["hi"]:
+            failures.append(
+                f"cpi.{category}: full={target:.4f} outside "
+                f"[{estimate['lo']:.4f}, {estimate['hi']:.4f}] "
+                f"(mean {estimate['mean']:.4f})"
+            )
+    assert not failures, (
+        f"{name}: top-3 CPI components outside sampled 95% CIs:\n  "
+        + "\n  ".join(failures)
+        + "\n"
+        + _window_distribution(sampled)
+    )
+
+
+def test_measured_instruction_accounting(profile_runs):
+    """The sampled result's own bookkeeping is internally consistent."""
+    name, full, sampled = profile_runs
+    record = sampled.sampling
+    assert record["windows"] == sampled.window_count == len(sampled.window_ipcs)
+    assert record["measured_instructions"] == sum(sampled.window_instructions)
+    assert record["detailed_instructions"] == sampled.detailed_instructions
+    assert record["trace_instructions"] == TRACE_INSTRUCTIONS
+    # Measured instructions per window equal the plan's sample length up
+    # to commit-width slack: boundary snapshots are taken on the cycle
+    # commit *crosses* the mark, which can overshoot by a few
+    # instructions at each end.
+    slack = 2 * base_config().core.commit_width
+    assert all(
+        abs(n - PLAN.sample_length) <= slack
+        for n in sampled.window_instructions
+    ), f"{name}: uneven measured windows\n" + _window_distribution(sampled)

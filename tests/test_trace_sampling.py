@@ -1,10 +1,13 @@
 """Unit tests for systematic trace sampling."""
 
+import gc
+import weakref
+
 import pytest
 
 from repro.common.errors import TraceError
 from repro.trace.record import make_alu
-from repro.trace.sampling import merge_window_ipc, sample_trace
+from repro.trace.sampling import SamplingPlan, merge_window_ipc, sample_trace
 from repro.trace.stream import Trace
 
 
@@ -14,17 +17,17 @@ def make_trace(count):
 
 class TestSampleTrace:
     def test_window_count(self):
-        windows = sample_trace(make_trace(100), period=40, sample_length=10)
+        windows = list(sample_trace(make_trace(100), period=40, sample_length=10))
         assert len(windows) == 3  # starts at 0, 40, 80
 
     def test_window_contents_contiguous(self):
-        windows = sample_trace(make_trace(100), period=40, sample_length=10)
+        windows = list(sample_trace(make_trace(100), period=40, sample_length=10))
         first = windows[1]
         assert first[0].pc == 0x1000 + 4 * 40
         first.validate()
 
     def test_window_names_unique(self):
-        windows = sample_trace(make_trace(100), period=30, sample_length=5)
+        windows = list(sample_trace(make_trace(100), period=30, sample_length=5))
         names = [window.name for window in windows]
         assert len(set(names)) == len(names)
 
@@ -34,8 +37,74 @@ class TestSampleTrace:
         with pytest.raises(TraceError):
             sample_trace(make_trace(10), period=5, sample_length=6)
 
+    def test_invalid_params_raise_eagerly(self):
+        # Validation must not be deferred to the first next() call, or a
+        # bad plan sits undetected until a worker finally consumes it.
+        generator = None
+        try:
+            generator = sample_trace(make_trace(10), period=0, sample_length=1)
+        except TraceError:
+            pass
+        assert generator is None
+
     def test_short_trace_no_windows(self):
-        assert sample_trace(make_trace(5), period=100, sample_length=10) == []
+        assert list(sample_trace(make_trace(5), period=100, sample_length=10)) == []
+
+    def test_returns_lazy_iterator(self):
+        windows = sample_trace(make_trace(100), period=40, sample_length=10)
+        assert iter(windows) is windows  # a generator, not a list
+
+    def test_windows_not_retained(self):
+        """Peak live windows stays at one: consumed windows are collectable.
+
+        Regression test for the eager-materialisation bug where
+        ``sample_trace`` built every window Trace up front, holding
+        O(trace/period) windows alive at once.
+        """
+        trace = make_trace(1000)
+        refs = []
+        for window in sample_trace(trace, period=50, sample_length=25):
+            refs.append(weakref.ref(window))
+            del window
+            gc.collect()
+            alive = sum(1 for ref in refs if ref() is not None)
+            assert alive == 0, f"{alive} previous windows still alive"
+        assert len(refs) == 20
+
+
+class TestSamplingPlan:
+    def test_window_schedule(self):
+        plan = SamplingPlan(
+            period=100, sample_length=20, warmup=10, detail_warmup=8, drain_pad=4
+        )
+        windows = list(plan.windows(250))
+        assert len(windows) == plan.window_count(250) == 3
+        first = windows[0]
+        assert first.start == 0
+        assert first.detail_start == 10
+        assert first.measure_start == 18
+        assert first.measure_end == 38
+        assert first.end == 42
+        assert windows[1].start == 100
+        assert first.measured_records == 20
+        assert first.detailed_records == 32
+
+    def test_key_is_stable(self):
+        plan = SamplingPlan(period=200, sample_length=20)
+        assert plan.key() == SamplingPlan(period=200, sample_length=20).key()
+        assert plan.key() != SamplingPlan(period=200, sample_length=21).key()
+
+    def test_span_must_fit_period(self):
+        with pytest.raises(TraceError):
+            SamplingPlan(period=100, sample_length=90, warmup=50)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(TraceError):
+            SamplingPlan(period=0, sample_length=1)
+        with pytest.raises(TraceError):
+            SamplingPlan(period=10, sample_length=0)
+        with pytest.raises(TraceError):
+            SamplingPlan(period=100, sample_length=10, warmup=-1)
 
 
 class TestMergeIpc:
