@@ -10,11 +10,12 @@ default (untraced) path shows up as a number, not a feeling.
 """
 
 import json
+import os
 import pathlib
 
 import conftest
 
-from repro.analysis.workloads import tpcc_workload
+from repro.analysis.workloads import standard_workloads, tpcc_workload
 from repro.model.config import base_config
 from repro.model.simulator import PerformanceModel
 from repro.observe import PipelineTracer
@@ -22,6 +23,76 @@ from repro.observe import PipelineTracer
 PAPER_MODEL_SPEED_IPS = 7_800
 
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_observability.json"
+
+CORE_SPEED_JSON = pathlib.Path(__file__).parent / "BENCH_core_speed.json"
+
+#: Interleaved repetitions per engine; the best of each is recorded so
+#: one OS scheduling hiccup cannot sink a leg.
+SPEED_REPS = 3
+
+#: Minimum fast/reference speedup on TPC-C.  The CI speed-smoke job
+#: leaves the default; set ``REPRO_SPEED_FLOOR=0`` to record numbers
+#: without gating (e.g. on a heavily loaded workstation).
+SPEED_FLOOR = float(os.environ.get("REPRO_SPEED_FLOOR", "2.0"))
+
+
+def test_core_engine_speed():
+    """Reference vs fast engine IPS per profile -> BENCH_core_speed.json.
+
+    Both engines run the same pre-generated traces; repetitions are
+    interleaved (ref, fast, ref, fast, ...) so slow-machine drift hits
+    both legs evenly, and the best repetition per engine is recorded —
+    the usual benchmarking convention for throughput numbers.  The
+    TPC-C row also gates: the fast engine must hold the CI floor.
+    """
+    timed = max(5_000, int(20_000 * conftest.SCALE))
+    warm = max(10_000, int(30_000 * conftest.SCALE))
+    reference = PerformanceModel(base_config(), engine="reference")
+    fast = PerformanceModel(base_config(), engine="fast")
+
+    profiles = {}
+    for workload in standard_workloads(warm=warm, timed=timed):
+        trace = workload.trace()
+        regions = workload.regions()
+        kwargs = dict(warmup_fraction=workload.warmup_fraction, regions=regions)
+        best = {"reference": 0.0, "fast": 0.0}
+        for _ in range(SPEED_REPS):
+            for name, model in (("reference", reference), ("fast", fast)):
+                result = model.run(trace, **kwargs)
+                if result.sim_speed > best[name]:
+                    best[name] = result.sim_speed
+        profiles[workload.name] = {
+            "reference_ips": round(best["reference"], 1),
+            "fast_ips": round(best["fast"], 1),
+            "fast_vs_reference": round(best["fast"] / best["reference"], 3),
+            "reference_vs_paper": round(
+                best["reference"] / PAPER_MODEL_SPEED_IPS, 3
+            ),
+            "fast_vs_paper": round(best["fast"] / PAPER_MODEL_SPEED_IPS, 3),
+        }
+        print(
+            f"{workload.name}: reference {best['reference']:,.0f} ips, "
+            f"fast {best['fast']:,.0f} ips "
+            f"({profiles[workload.name]['fast_vs_reference']:.2f}x)"
+        )
+
+    payload = {
+        "paper_model_ips": PAPER_MODEL_SPEED_IPS,
+        "reps_per_backend": SPEED_REPS,
+        "timed_instructions": timed,
+        "ci_floor_tpcc_speedup": SPEED_FLOOR,
+        "profiles": profiles,
+    }
+    CORE_SPEED_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"recorded in {CORE_SPEED_JSON.name}")
+
+    tpcc_speedup = profiles["TPC-C"]["fast_vs_reference"]
+    assert tpcc_speedup >= SPEED_FLOOR, (
+        f"fast engine {tpcc_speedup:.2f}x reference on TPC-C, "
+        f"floor {SPEED_FLOOR}x"
+    )
 
 
 def test_model_simulation_speed(benchmark):

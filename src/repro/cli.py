@@ -19,10 +19,12 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.model.config import (
+    ENGINE_CHOICES,
     MachineConfig,
     base_config,
     bht_4k_2w_1t,
@@ -53,6 +55,15 @@ def _config_by_name(name: str) -> MachineConfig:
         raise SystemExit(
             f"unknown config {name!r}; choose from: {', '.join(_CONFIGS)}"
         )
+
+
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="core engine: reference (the readable cycle loop) or fast "
+             "(bit-identical results, ~2x throughput); default: "
+             "$REPRO_ENGINE, then the config's engine field",
+    )
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -130,7 +141,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             f"sampling {workload.name} ({len(workload.trace()):,} instructions, "
             f"plan {plan.key()}) on {config.name} ..."
         )
-        result = PerformanceModel(config).run_sampled(
+        result = PerformanceModel(config, engine=args.engine).run_sampled(
             workload.trace(), plan, regions=workload.regions()
         )
         print(result.summary())
@@ -146,7 +157,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
     print(f"simulating {workload.name} ({args.timed:,} timed instructions) "
           f"on {config.name} ...")
-    result = PerformanceModel(config).run(
+    result = PerformanceModel(config, engine=args.engine).run(
         workload.trace(),
         warmup_fraction=workload.warmup_fraction,
         regions=workload.regions(),
@@ -174,6 +185,69 @@ def _cmd_run(args: argparse.Namespace) -> None:
             f"wrote {written:,} {args.trace_format} events to "
             f"{args.trace_events}{suffix}"
         )
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    """Hot-spot hunt: cProfile the timed core loop, print the top functions.
+
+    Warm-up (region pre-warm + trace-prefix warming) runs outside the
+    profiler, exactly as it runs outside the simulation-speed timer, so
+    the report shows the loop that ``sim_speed`` measures.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from repro.analysis.workloads import workload_by_name
+    from repro.model.simulator import (
+        build_hierarchy,
+        core_class,
+        prewarm_regions,
+        resolve_engine,
+        warm_structures,
+    )
+
+    workload = workload_by_name(args.workload, warm=args.warm, timed=args.timed)
+    config = _config_by_name(args.config)
+    engine = resolve_engine(config, args.engine)
+    trace = workload.trace()
+    regions = workload.regions()
+    split = int(len(trace) * workload.warmup_fraction)
+    warm_part = trace.head(split) if split else None
+    timed_part = trace[split:] if split else trace
+
+    hierarchy = build_hierarchy(config)
+    core = core_class(config, args.engine)(
+        timed_part, hierarchy, config.core, config.frontend, config.bht
+    )
+    if regions:
+        prewarm_regions(hierarchy, regions)
+    if warm_part is not None:
+        warm_structures(hierarchy, core.fetch.bht, warm_part)
+
+    print(
+        f"profiling {workload.name} ({len(timed_part):,} timed instructions) "
+        f"on {config.name}, engine {engine} ..."
+    )
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    stats = core.run()
+    profiler.disable()
+    elapsed = max(time.perf_counter() - started, 1e-9)
+
+    stream = io.StringIO()
+    report = pstats.Stats(profiler, stream=stream)
+    report.sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue().rstrip())
+    print(
+        f"\n{stats.instructions / elapsed:,.0f} trace-instructions/s "
+        f"under the profiler (expect ~3x faster without it)"
+    )
+    if args.out:
+        report.dump_stats(args.out)
+        print(f"wrote {args.out} (inspect with `python -m pstats {args.out}`)")
 
 
 def _make_runner(args: argparse.Namespace, campaign: Optional[str] = None):
@@ -473,6 +547,7 @@ def _cmd_smp(args: argparse.Namespace) -> None:
         traces,
         warmup_fraction=args.warm / total,
         regions_per_cpu=regions,
+        engine=args.engine,
     )
     for key, value in result.as_dict().items():
         print(f"{key:24s} {value}")
@@ -508,7 +583,26 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: keep everything)",
     )
     _add_sampling_options(p_run)
+    _add_engine_option(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile", help="cProfile a short run and print the hot spots"
+    )
+    p_profile.add_argument("workload", nargs="?", default="TPC-C",
+                           help="e.g. SPECint95, TPC-C (default TPC-C)")
+    p_profile.add_argument("--config", default="base", choices=_CONFIGS)
+    p_profile.add_argument("--warm", type=int, default=30_000)
+    p_profile.add_argument("--timed", type=int, default=20_000)
+    p_profile.add_argument("--top", type=_positive_int, default=25,
+                           help="how many functions to print (default 25)")
+    p_profile.add_argument("--sort", choices=("cumulative", "tottime", "calls"),
+                           default="cumulative",
+                           help="pstats sort key (default cumulative)")
+    p_profile.add_argument("--out", default=None, metavar="PATH",
+                           help="also dump raw pstats data to PATH")
+    _add_engine_option(p_profile)
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("figure", nargs="?", default="all",
@@ -518,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--smp-cpus", type=int, default=16)
     _add_runner_options(p_fig)
     _add_sampling_options(p_fig)
+    _add_engine_option(p_fig)
     p_fig.set_defaults(func=_cmd_figures)
 
     p_sweeps = sub.add_parser("sweeps", help="run supplemental parameter sweeps")
@@ -529,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweeps.add_argument("--timed", type=int, default=25_000)
     _add_runner_options(p_sweeps)
     _add_sampling_options(p_sweeps)
+    _add_engine_option(p_sweeps)
     p_sweeps.set_defaults(func=_cmd_sweeps)
 
     p_analyze = sub.add_parser(
@@ -570,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_smp.add_argument("--warm", type=int, default=20_000)
     p_smp.add_argument("--timed", type=int, default=6_000)
     p_smp.add_argument("--seed", type=int, default=2003)
+    _add_engine_option(p_smp)
     p_smp.set_defaults(func=_cmd_smp)
 
     return parser
@@ -578,6 +675,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> None:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "engine", None):
+        # Commands that fan out through runners/workers (figures, sweeps)
+        # resolve the engine via the environment; worker processes
+        # inherit it.  Explicit PerformanceModel(engine=...) args win.
+        os.environ["REPRO_ENGINE"] = args.engine
     args.func(args)
 
 

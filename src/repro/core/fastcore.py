@@ -1,0 +1,1671 @@
+"""The fast core engine: slot-recycled hot path, bit-exact vs reference.
+
+:class:`FastProcessorCore` re-implements the inner loop of
+:class:`~repro.core.pipeline.ProcessorCore` for throughput while keeping
+its outputs **byte-identical** — same committed cycles, same CPI stack,
+same counters, same stepped-cycle set.  The reference engine stays the
+readable specification; this module is an optimized transcription of it,
+enforced by ``tests/test_engine_equivalence.py``.
+
+The three stacked optimizations:
+
+1. **Bulk stall skip-ahead.**  The driver loop already jumps over idle
+   spans via ``_next_cycle`` and attributes the skipped cycles in one
+   addition to the classification at the span start.  The fast engine
+   makes those jumps cheap: the LSU's pending-work scan is cached with
+   event-based invalidation (see ``LoadStoreUnit.pending_work_cycle``)
+   and per-cycle LSU/fetch/event phases are gated by O(1) checks that
+   are provably equivalent to running the phase and observing no work.
+   The *attribution rule is unchanged*: a skipped span inherits the
+   span-start classification, exactly as the reference accountant does,
+   so conservation holds cycle-for-cycle.
+
+2. **Slot-recycled µop representation.**  Per-record static decode data
+   (rename pool, station class, producer source list, latency, flags)
+   is precomputed once into a parallel array indexed by decode order,
+   and dynamic µops are recycled through a free pool instead of being
+   allocated per instruction.  A retired slot is reusable only once
+   nothing live can still reference it: every reference to a µop ``u``
+   (producer edges, LSQ ``data_producer`` edges) is held by a µop or
+   store-queue entry decoded *before* ``u`` committed, i.e. with a
+   sequence number below the barrier recorded at ``u``'s commit.  Slots
+   recycle once the oldest uncommitted µop and the oldest store-queue
+   entry are both past that barrier.  Cancellation epochs are monotone
+   across reuse (bumped at recycle, never reset) so stale completion
+   events and waiter registrations can never alias a new incarnation.
+
+3. **Memoized stall classification.**  The head-of-window blocker
+   analysis is cached on the head µop's identity, epoch, state, replay
+   count and memory level, and recomputed only when one of those
+   changes or when an LSQ breadcrumb (bank conflict / ordering hold)
+   lands on the classified cycle.
+
+Dispatch selection is additionally memoized: an empty selection stays
+empty until either a dependency-affecting mutation happens (tracked by
+a global counter bumped on decode, dispatch, completion events, cancels
+and commits) or the station's recorded ``next_eligible`` cycle is
+reached.  Both conditions are exactly the ones under which the
+reference ``select`` could return something new, so skipped scans are
+observationally identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.core.lsq import LoadResolution, LoadStoreUnit, _LoadEntry, _StoreEntry
+from repro.core.pipeline import ProcessorCore
+from repro.core.uop import FAR_FUTURE, Uop, UopState
+from repro.frontend.fetch import FetchUnit
+from repro.isa.opcodes import OpClass
+from repro.observe import categories as cat
+
+_WAITING = UopState.WAITING
+_INFLIGHT = UopState.INFLIGHT
+_DONE = UopState.DONE
+_COMMITTED = UopState.COMMITTED
+
+#: Station-class codes in the decode prepass.
+_RSE, _RSF, _LOAD, _STORE, _RSBR = 0, 1, 2, 3, 4
+
+#: Rename-pool codes (match ``_dest_kind`` below).
+_KIND_NONE, _KIND_INT, _KIND_FP, _KIND_CC = 0, 1, 2, 3
+
+#: Traces at most this long get every µop prebuilt in the constructor
+#: (~60 MB at the limit); longer ones use the pooled recycling path.
+_PREBUILD_LIMIT = 150_000
+
+#: Completion-event kinds (ints; the reference engine uses strings).
+#: Heap tuples are ordered by (cycle, counter) with a unique counter,
+#: so the kind field is never compared and the encodings cannot mix.
+_EV_DONE, _EV_RESOLVE = 0, 1
+
+_FP_OPS = frozenset(
+    {OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_FMA, OpClass.FP_DIV}
+)
+_BRANCH_OPS = frozenset(
+    {OpClass.BRANCH_COND, OpClass.BRANCH_UNCOND, OpClass.CALL, OpClass.RETURN}
+)
+
+
+class _FastUop(Uop):
+    """A µop with precomputed static fields and a recyclable identity.
+
+    The extra slots shadow the parent's ``op``/``is_branch`` properties
+    with plain attributes, so every hot read is a slot load.  Instances
+    are created raw (``__new__``) and fully initialized by the decode
+    fast path; the cancellation ``epoch`` survives recycling and only
+    ever increases.
+    """
+
+    __slots__ = (
+        "op",
+        "is_branch",
+        "lat",
+        "serialize",
+        "is_div",
+        "dest",
+        "ready_lb",
+        "consumers",
+    )
+
+
+class FastLoadStoreUnit(LoadStoreUnit):
+    """Engine-private LSU with a lazy seq-ordered candidate merge.
+
+    The reference :meth:`LoadStoreUnit.step` builds a candidate list from
+    both queues and sorts it by sequence number every cycle.  Both queues
+    are already seq-sorted by construction (allocation happens in decode
+    order), so the oldest-first order is a two-pointer merge; and because
+    every filter predicate is a function of the entry's own fields only
+    (processing an older candidate never changes a younger one's
+    predicate), evaluating predicates lazily visits exactly the entries
+    the reference processes before port exhaustion, with identical
+    counter and breadcrumb updates.
+    """
+
+    def __init__(self, params, hierarchy) -> None:
+        super().__init__(params, hierarchy)
+        self._banked = hierarchy.l1d.geometry.banks > 1
+
+    def step(self, cycle, _WAITING=_WAITING, _INFLIGHT=_INFLIGHT):
+        resolutions: List[LoadResolution] = []
+        activity = False
+        ports_left = self.params.l1d_ports
+        banks_used: dict = {}
+        banked = self._banked
+        loads = self._loads
+        stores = self._stores
+        num_loads = len(loads)
+        num_stores = len(stores)
+        li = si = 0
+        load = store = None
+        load_seq = store_seq = 0
+        hierarchy = self.hierarchy
+        try_issue = self._try_issue_load
+        while ports_left > 0:
+            if load is None:
+                while li < num_loads:
+                    cand = loads[li]
+                    li += 1
+                    if not cand.issued and cand.addr_known_at <= cycle:
+                        state = cand.uop.state
+                        if state is _WAITING or state is _INFLIGHT:
+                            load = cand
+                            load_seq = cand.uop.seq
+                            break
+            if store is None:
+                while si < num_stores:
+                    cand = stores[si]
+                    si += 1
+                    if (
+                        cand.committed_at >= 0
+                        and cand.write_done_at < 0
+                        and cand.addr_known_at <= cycle
+                    ):
+                        store = cand
+                        store_seq = cand.uop.seq
+                        break
+            if load is not None and (store is None or load_seq < store_seq):
+                entry, load = load, None
+                outcome = try_issue(entry, cycle, banks_used, banked)
+                if outcome == "conflict":
+                    self.bank_conflicts += 1
+                    self.last_conflict_cycle = cycle
+                    self.last_conflict_seq = entry.uop.seq
+                    continue
+                if outcome == "blocked":
+                    continue
+                ports_left -= 1
+                activity = True
+                resolutions.append(outcome)
+            elif store is not None:
+                entry, store = store, None
+                ea = entry.uop.record.ea
+                bank = hierarchy.bank_of(ea)
+                if banked and banks_used.get(bank):
+                    self.bank_conflicts += 1
+                    continue
+                banks_used[bank] = True
+                result = hierarchy.store(cycle, ea)
+                entry.write_done_at = result.ready_cycle
+                ports_left -= 1
+                activity = True
+            else:
+                break
+
+        # Reap written-back stores in place (reference: build + remove).
+        if num_stores:
+            kept = []
+            keep = kept.append
+            pop = self._by_uop.pop
+            removed = False
+            for entry in stores:
+                if 0 <= entry.write_done_at <= cycle:
+                    pop(entry.uop.seq, None)
+                    removed = True
+                else:
+                    keep(entry)
+            if removed:
+                stores[:] = kept
+                activity = True
+
+        if activity:
+            self._pending_dirty = True
+        return resolutions, activity
+
+
+class FastFetchUnit(FetchUnit):
+    """Engine-private fetch: groups are delivered as packed runs.
+
+    Single-path trace-driven fetch delivers consecutive records, and
+    within one delivered group only the *last* record can be a
+    mispredicted or taken transfer (delivery stops there).  So a fetch
+    group compresses to one ``(avail_cycle, end_index, last_misp)``
+    tuple in ``_runs``; the per-record ``FetchedInstruction`` objects of
+    the reference unit are never materialized.  Predictor and counter
+    updates happen in the same order with the same arguments, so BHT,
+    RAS and fetch statistics are bit-identical.
+    """
+
+    def __init__(self, trace, hierarchy, bht_params, params, bht=None) -> None:
+        super().__init__(trace, hierarchy, bht_params, params, bht=bht)
+        self._runs = deque()
+        self._buffered = 0  # undecoded instructions across all runs
+
+    def step(self, cycle: int) -> None:
+        if self._blocked or cycle < self._stall_until:
+            return
+        records = self._records
+        if self._position >= len(records):
+            return
+        params = self.params
+        if self._buffered + params.fetch_width > params.buffer_capacity:
+            return
+        if self._pending_delivery:
+            self._pending_delivery = False
+            self._deliver_group(cycle)
+            return
+        first = records[self._position]
+        access = self._hierarchy.fetch(cycle, first.pc)
+        if access.level != "l1" or access.tlb_cycles:
+            self._stall_until = access.ready_cycle
+            self._stall_reason = "icache"
+            self.icache_stall_cycles += access.ready_cycle - cycle
+            self._pending_delivery = True
+            return
+        self._deliver_group(cycle)
+
+    def _deliver_group(
+        self,
+        cycle: int,
+        _COND=OpClass.BRANCH_COND,
+        _CALL=OpClass.CALL,
+        _RET=OpClass.RETURN,
+    ) -> None:
+        params = self.params
+        records = self._records
+        position = self._position
+        group_mask = ~(params.fetch_group_bytes - 1)
+        first = records[position]
+        group_base = first.pc & group_mask
+        avail = cycle + params.pipeline_depth
+        start = position
+        limit = position + params.fetch_width
+        total = len(records)
+        if limit > total:
+            limit = total
+        last_misp = False
+        bht = self.bht
+        ras = self.ras
+        perfect = params.perfect_prediction
+        while position < limit:
+            record = records[position]
+            if record.pc & group_mask != group_base:
+                break
+            op = record.op
+            mispredicted = False
+            if op is _COND:
+                if perfect:
+                    pass
+                else:
+                    predicted_taken = bht.predict(record.pc)
+                    mispredicted = predicted_taken != record.taken
+                    bht.update(record.pc, record.taken, predicted_taken)
+            elif op is _CALL:
+                ras.push(record.pc + 4)
+            elif op is _RET:
+                if not perfect:
+                    mispredicted = not ras.predict_return(record.target)
+                else:
+                    ras.predict_return(record.target)
+
+            position += 1
+
+            if mispredicted:
+                # Fetch follows the wrong path; deliver nothing further
+                # until the core resolves this branch.
+                self._blocked = True
+                last_misp = True
+                break
+            if record.taken:
+                # Correctly-predicted taken transfer: redirect with the
+                # BHT-access bubble penalty.
+                bubbles = bht.params.access_latency
+                self._stall_until = cycle + 1 + bubbles
+                self._stall_reason = "bubble"
+                self.taken_bubble_cycles += bubbles
+                break
+
+        count = position - start
+        self._position = position
+        if count:
+            self._runs.append((avail, position, last_misp))
+            self._buffered += count
+        self.fetch_groups += 1
+        if self.tracer is not None and count:
+            self.tracer.emit(cycle, "fetch", -1, first.pc, count)
+
+
+class FastProcessorCore(ProcessorCore):
+    """Bit-exact optimized engine (see module docstring)."""
+
+    def __init__(
+        self,
+        trace,
+        hierarchy,
+        core_params,
+        frontend_params,
+        bht_params,
+        bht=None,
+    ) -> None:
+        super().__init__(
+            trace, hierarchy, core_params, frontend_params, bht_params, bht=bht
+        )
+        # Engine-private LSU and fetch unit (same state layout, leaner
+        # hot paths).  Installed before any simulation state accumulates;
+        # attach_tracer and BHT warming happen later, on the replacements.
+        self.lsu = FastLoadStoreUnit(core_params, hierarchy)
+        self.fetch = FastFetchUnit(
+            trace, hierarchy, bht_params, frontend_params, bht=bht
+        )
+        self._exec_offset = core_params.dispatch_to_exec
+        self._speculative = core_params.speculative_dispatch
+        self._special_serialize = core_params.special_serialize
+        self._commit_width = core_params.commit_width
+        self._issue_width = core_params.issue_width
+        self._window_cap = core_params.window_size
+        self._int_rename_cap = core_params.int_rename
+        self._fp_rename_cap = core_params.fp_rename
+        self._lq_cap = core_params.load_queue
+        self._sq_cap = core_params.store_queue
+        self._forwarding = core_params.data_forwarding
+        self._no_fwd_pen = core_params.no_forwarding_penalty
+        self._l1d_hit = hierarchy.l1d.geometry.hit_latency
+        fetch_params = self.fetch.params
+        self._fetch_width = fetch_params.fetch_width
+        self._fetch_cap = fetch_params.buffer_capacity
+        self._fetch_len = len(self.fetch._records)
+        self._rse_stations = self.rse.stations
+        self._rsf_stations = self.rsf.stations
+        #: Dependency epoch: bumped on every mutation that can change
+        #: dispatch eligibility anywhere.
+        self._mut = 0
+        self._stations_tuple = tuple(self._all_stations)
+        for station in self._all_stations:
+            station._fast_memo = -1  # _mut value at the last empty select
+            station._fast_dirty = True  # eligibility may have changed
+        #: Global dispatch skip: True when every station is clean, with
+        #: the min of their recorded next_eligible cycles.
+        self._disp_clean = False
+        self._disp_ne = None
+        #: Free pool of recycled µop slots and the retire queue of
+        #: (uop, barrier_seq) pairs awaiting their recycle condition.
+        self._pool: List[_FastUop] = []
+        self._retired = deque()
+        #: Stall-classification memo (head identity -> category).
+        self._cls_key = None
+        self._cls_val = None
+        #: Next record index to decode (decode consumes the trace in
+        #: order, so this indexes the prepass array).
+        self._decode_index = 0
+        self._pre = self._build_prepass(self.fetch._records, core_params)
+        #: For bounded traces every µop slot is prebuilt in the (untimed)
+        #: constructor with its static fields and reset-safe defaults, so
+        #: decode only fills the dynamic fields and commit skips the
+        #: recycling bookkeeping.  Megatraces (sampled mode) fall back to
+        #: the pooled slot-recycling path to bound memory.
+        if len(self._pre) <= _PREBUILD_LIMIT:
+            self._prebuilt = self._build_uops()
+            self._static_prod, self._static_data = self._build_producer_links()
+            # With producers static, decode needs only two prepass
+            # fields; parallel int lists beat re-unpacking the 9-tuple.
+            self._pre_kind = [entry[0] for entry in self._pre]
+            self._pre_class = [entry[1] for entry in self._pre]
+            self._recycle = False
+            # Instance attribute shadows the method: both drivers call
+            # self._decode, so they pick up the prebuilt fast path.
+            self._decode = self._decode_prebuilt
+        else:
+            self._prebuilt = None
+            self._recycle = True
+
+    # ------------------------------------------------------------------
+    # Decode prepass: the static SoA side of the µop representation.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _build_prepass(records, params) -> list:
+        """Per-record static decode tuple, indexed by decode order.
+
+        Layout: (rename_kind, station_class, producer_srcs, data_src,
+        latency, op, dest, serialize, is_div).
+        """
+        latency_map = {
+            op: params.latency_of(op)
+            for op in OpClass
+            if op not in (OpClass.LOAD, OpClass.STORE)
+        }
+        load_op, store_op = OpClass.LOAD, OpClass.STORE
+        special_op = OpClass.SPECIAL
+        div_ops = (OpClass.INT_DIV, OpClass.FP_DIV)
+        pre = []
+        append = pre.append
+        for record in records:
+            op = record.op
+            dest = record.dest
+            if dest < 0:
+                kind = _KIND_NONE
+            elif dest < 32:
+                kind = _KIND_INT
+            elif dest < 64:
+                kind = _KIND_FP
+            elif dest < 66:
+                kind = _KIND_CC
+            else:
+                raise SimulationError(f"unknown destination register id {dest}")
+            srcs = record.srcs
+            if op == load_op:
+                append((kind, _LOAD, srcs, -1, 0, op, dest, False, False))
+            elif op == store_op:
+                if srcs:
+                    append((kind, _STORE, srcs[:-1], srcs[-1], 0, op, dest, False, False))
+                else:
+                    append((kind, _STORE, srcs, -1, 0, op, dest, False, False))
+            elif op in _BRANCH_OPS:
+                append((kind, _RSBR, srcs, -1, latency_map[op], op, dest, False, False))
+            elif op in _FP_OPS:
+                append(
+                    (kind, _RSF, srcs, -1, latency_map[op], op, dest, False, op in div_ops)
+                )
+            else:
+                append(
+                    (
+                        kind,
+                        _RSE,
+                        srcs,
+                        -1,
+                        latency_map[op],
+                        op,
+                        dest,
+                        op == special_op,
+                        op in div_ops,
+                    )
+                )
+        return pre
+
+    def _build_uops(self) -> list:
+        """Prebuild one µop per record: statics plus reset-safe defaults.
+
+        Runs in the constructor (untimed).  Every field decode would set
+        to a constant is preset here; decode then touches only the truly
+        dynamic ones (producers, station, fetch outcome, cycle stamps).
+        Sequence numbers equal record indices because decode consumes
+        the trace strictly in order from zero.
+        """
+        records = self.fetch._records
+        far = FAR_FUTURE
+        new = _FastUop.__new__
+        cls = _FastUop
+        out = []
+        append = out.append
+        for index, (kind, sclass, _srcs, _dsrc, lat, op, dest, serialize, is_div) in enumerate(
+            self._pre
+        ):
+            uop = new(cls)
+            uop.seq = index
+            uop.record = records[index]
+            uop.epoch = 0
+            uop.state = _WAITING
+            uop.dest_kind = kind
+            uop.op = op
+            uop.dest = dest
+            uop.lat = lat
+            uop.serialize = serialize
+            uop.is_div = is_div
+            uop.is_load = sclass == _LOAD
+            uop.is_store = sclass == _STORE
+            uop.is_branch = sclass == _RSBR
+            uop.waiters = []
+            uop.consumers = []
+            uop.unconfirmed = 0
+            uop.holds_rs_entry = True
+            uop.dispatch_cycle = -1
+            uop.earliest_dispatch = 0
+            uop.result_ready = far
+            uop.done_cycle = far
+            uop.replays = 0
+            uop.speculative = False
+            uop.confirmed = False
+            uop.lsq_index = -1
+            uop.commit_cycle = -1
+            uop.mem_level = None
+            uop.producers = ()
+            uop.mispredicted = False
+            append(uop)
+        return out
+
+    def _build_producer_links(self):
+        """Static last-writer linkage, computed untimed in the constructor.
+
+        The reference decode's ``renmap.get(src)`` always returns the
+        most recent earlier writer of ``src``: commit deletes a rename
+        entry only while it is still the latest, so a hit is the last
+        writer and a miss means the last writer committed.  With stable
+        sequence numbers (no slot recycling) that lookup collapses to a
+        trace-static seq per source; decode just re-applies the dynamic
+        COMMITTED filter.  Returns (producer_seqs, data_seq) lists
+        indexed by decode order, with -1 / absent for "no live writer
+        can exist".
+        """
+        last: dict = {}
+        prod = []
+        datap = []
+        for index, entry in enumerate(self._pre):
+            srcs, data_src, dest = entry[2], entry[3], entry[6]
+            datap.append(last.get(data_src, -1) if data_src >= 0 else -1)
+            seen: list = []
+            for src in srcs:
+                seq = last.get(src, -1)
+                if seq >= 0 and seq not in seen:
+                    seen.append(seq)
+            prod.append(seen)
+            if dest >= 0:
+                last[dest] = index
+        return prod, datap
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None):
+        """Merged driver: ``run`` + ``step_cycle`` fused into one loop.
+
+        Identical phase order and skip conditions as :meth:`step_cycle`,
+        with loop-invariant lookups hoisted out of the cycle loop.  The
+        windowed drivers (``run_measured``, SMP) still call
+        :meth:`step_cycle` directly; both paths are exercised by the
+        equivalence suite.
+        """
+        cycle = 0
+        idle_streak = 0
+        trace_length = self._trace_length
+        window = self.window
+        events = self._events
+        lsu = self.lsu
+        fetch = self.fetch
+        stack = self._stack
+        base_cat = cat.BASE
+        fetch_len = self._fetch_len
+        fetch_width = self._fetch_width
+        fetch_cap = self._fetch_cap
+        classify = self._classify_stall
+        process_events = self._process_events
+        commit = self._commit
+        dispatch = self._dispatch
+        decode = self._decode
+        schedule_resolution = self._schedule_resolution
+        done_state = _DONE
+        accounted = self._accounted_until
+        committed_total = self._committed
+        while committed_total < trace_length:
+            if max_cycles is not None and cycle > max_cycles:
+                self._accounted_until = accounted
+                raise SimulationError(f"exceeded max_cycles={max_cycles}")
+            self.cycle = cycle
+            account = cycle >= accounted
+            if account and cycle > accounted:
+                # Skipped idle span: the span-start classification holds
+                # for every skipped cycle (reference rule).
+                stack[classify(accounted)] += cycle - accounted
+
+            if events and events[0][0] <= cycle:
+                activity = process_events(cycle)
+            else:
+                activity = False
+
+            newly = 0
+            head = self._window_head
+            if head < len(window):
+                uop = window[head]
+                if uop.state is done_state and uop.done_cycle <= cycle:
+                    newly = commit(cycle)
+                    if newly:
+                        committed_total += newly
+                        self._committed = committed_total
+                        activity = True
+
+            pending = (
+                lsu._refresh_pending() if lsu._pending_dirty else lsu._pending_min
+            )
+            if pending <= cycle:
+                resolutions, lsu_active = lsu.step(cycle)
+                if lsu_active:
+                    activity = True
+                for resolution in resolutions:
+                    schedule_resolution(resolution)
+                    activity = True
+
+            if not self._disp_clean:
+                if dispatch(cycle):
+                    activity = True
+            else:
+                ne = self._disp_ne
+                if ne is not None and ne <= cycle and dispatch(cycle):
+                    activity = True
+
+            runs = fetch._runs
+            if runs and runs[0][0] <= cycle:
+                if decode(cycle):
+                    activity = True
+
+            if (
+                not fetch._blocked
+                and cycle >= fetch._stall_until
+                and fetch._position < fetch_len
+                and fetch._buffered + fetch_width <= fetch_cap
+            ):
+                buffered_before = fetch._buffered
+                fetch.step(cycle)
+                if fetch._buffered != buffered_before:
+                    activity = True
+
+            if account:
+                if newly:
+                    stack[base_cat] += 1
+                else:
+                    stack[classify(cycle)] += 1
+                accounted = cycle + 1
+
+            if activity:
+                idle_streak = 0
+                cycle += 1
+            else:
+                idle_streak += 1
+                if idle_streak > 100_000:
+                    self._accounted_until = accounted
+                    raise SimulationError(
+                        f"deadlock at cycle {cycle}: committed "
+                        f"{self._committed}/{self._trace_length}, "
+                        f"window {self._window_size()}"
+                    )
+                cycle = self._next_cycle(cycle)
+        self._accounted_until = accounted
+        self.finalize_stats(cycle)
+        return self.stats
+
+    def step_cycle(self, cycle: int) -> bool:
+        """One cycle, phase-for-phase equivalent to the reference loop."""
+        self.cycle = cycle
+        stack = self._stack
+        accounted = self._accounted_until
+        account = cycle >= accounted
+        if account and cycle > accounted:
+            # Skipped idle span: the span-start classification holds for
+            # every skipped cycle (same rule as the reference engine).
+            stack[self._classify_stall(accounted)] += cycle - accounted
+
+        events = self._events
+        if events and events[0][0] <= cycle:
+            activity = self._process_events(cycle)
+        else:
+            activity = False
+
+        newly_committed = self._commit(cycle)
+        if newly_committed:
+            self._committed += newly_committed
+            activity = True
+
+        lsu = self.lsu
+        pending = lsu._refresh_pending() if lsu._pending_dirty else lsu._pending_min
+        if pending <= cycle:
+            resolutions, lsu_active = lsu.step(cycle)
+            if lsu_active:
+                activity = True
+            for resolution in resolutions:
+                self._schedule_resolution(resolution)
+                activity = True
+
+        if self._dispatch(cycle):
+            activity = True
+        if self._decode(cycle):
+            activity = True
+
+        fetch = self.fetch
+        if (
+            not fetch._blocked
+            and cycle >= fetch._stall_until
+            and fetch._position < self._fetch_len
+            and fetch._buffered + self._fetch_width <= self._fetch_cap
+        ):
+            buffered_before = fetch._buffered
+            fetch.step(cycle)
+            if fetch._buffered != buffered_before:
+                activity = True
+
+        if account:
+            if newly_committed:
+                stack[cat.BASE] += 1
+            else:
+                stack[self._classify_stall(cycle)] += 1
+            self._accounted_until = cycle + 1
+        return activity
+
+    # ------------------------------------------------------------------
+    # Stall classification (memoized).
+    # ------------------------------------------------------------------
+
+    def _classify_stall(self, cycle: int) -> str:
+        window = self.window
+        head = self._window_head
+        if head < len(window):
+            uop = window[head]
+            lsu = self.lsu
+            if lsu.last_conflict_cycle == cycle or lsu.last_order_stall_cycle == cycle:
+                # An LSQ breadcrumb landed on this very cycle: take the
+                # reference path, whose cycle-equality checks apply.
+                return ProcessorCore._classify_stall(self, cycle)
+            state = uop.state
+            key = (uop, uop.epoch, state, uop.replays, uop.mem_level)
+            if key == self._cls_key:
+                return self._cls_val
+            if uop.is_load:
+                level = uop.mem_level
+                if level is not None:
+                    value = cat.LEVEL_CATEGORY.get(level, cat.DCACHE_L1)
+                elif uop.replays:
+                    value = cat.REPLAY
+                else:
+                    value = cat.DCACHE_L1
+            elif uop.is_store:
+                if state is _DONE:
+                    value = cat.STORE_DATA
+                elif uop.replays:
+                    value = cat.REPLAY
+                else:
+                    value = cat.EXEC
+            elif uop.mispredicted and uop.is_branch and state is not _DONE:
+                value = cat.BRANCH_MISPREDICT
+            elif uop.replays:
+                value = cat.REPLAY
+            else:
+                value = cat.EXEC
+            self._cls_key = key
+            self._cls_val = value
+            return value
+        fetch = self.fetch
+        if fetch._runs:
+            return cat.FRONTEND_FILL
+        if fetch._blocked:
+            return cat.BRANCH_MISPREDICT
+        if fetch._position >= self._fetch_len:
+            return cat.DRAIN
+        if cycle < fetch._stall_until:
+            return cat.FETCH_CATEGORY[fetch._stall_reason]
+        return cat.FRONTEND_FILL
+
+    # ------------------------------------------------------------------
+    # Source-readiness bounds (push-based dataflow invalidation).
+    #
+    # Every µop caches ``ready_lb`` — the value the reference
+    # ``_sources_ready_at`` would compute for it right now — and each
+    # producer keeps a ``consumers`` list so the cache is recomputed
+    # exactly when a producer's timing changes: dispatch (result_ready
+    # becomes known), load resolution (predicted -> actual), cancel
+    # (known -> unknown), and the two no-forwarding corner cases where a
+    # completion or commit changes the formula's value.  Between those
+    # events the cached value equals a fresh computation by definition,
+    # so the per-cycle station scan is two integer compares per entry.
+    # ------------------------------------------------------------------
+
+    def _ready_of(
+        self,
+        uop,
+        _FAR=FAR_FUTURE,
+        _COMMITTED=_COMMITTED,
+        _DONE=_DONE,
+        _INFLIGHT=_INFLIGHT,
+    ) -> int:
+        """Reference ``_sources_ready_at`` (speculative) on live state."""
+        off = self._exec_offset
+        best = 0
+        for producer in uop.producers:
+            state = producer.state
+            if state is _COMMITTED:
+                continue
+            if state is _DONE:
+                candidate = producer.result_ready - off
+            elif state is _INFLIGHT:
+                ready = producer.result_ready
+                if ready >= _FAR:
+                    return _FAR
+                candidate = ready - off
+            else:  # WAITING producer: timing unknown
+                return _FAR
+            if candidate > best:
+                best = candidate
+        return best
+
+    def _ripple_ready(
+        self,
+        producer,
+        _WAITING=_WAITING,
+        _COMMITTED=_COMMITTED,
+        _DONE=_DONE,
+        _INFLIGHT=_INFLIGHT,
+        _FAR=FAR_FUTURE,
+    ) -> None:
+        """Recompute the cached bound of waiting consumers of ``producer``."""
+        off = self._exec_offset
+        touched = False
+        for consumer in producer.consumers:
+            if consumer.state is not _WAITING:
+                continue
+            # _ready_of, inlined: this is the hottest recompute site.
+            best = 0
+            for src in consumer.producers:
+                state = src.state
+                if state is _COMMITTED:
+                    continue
+                if state is _DONE:
+                    candidate = src.result_ready - off
+                elif state is _INFLIGHT:
+                    ready = src.result_ready
+                    if ready >= _FAR:
+                        best = _FAR
+                        break
+                    candidate = ready - off
+                else:  # WAITING producer: timing unknown
+                    best = _FAR
+                    break
+                if candidate > best:
+                    best = candidate
+            consumer.ready_lb = best
+            consumer.station._fast_dirty = True
+            touched = True
+        if touched:
+            self._disp_clean = False
+
+    def _apply_load_resolution(self, resolution, cycle: int) -> None:
+        uop = resolution.uop
+        ProcessorCore._apply_load_resolution(self, resolution, cycle)
+        if uop.state is _INFLIGHT and uop.consumers:
+            # The prediction was replaced by the actual ready cycle.
+            self._ripple_ready(uop)
+
+    def _cancel(self, uop, earliest: int) -> None:
+        ProcessorCore._cancel(self, uop, earliest)
+        uop.ready_lb = self._ready_of(uop)
+        uop.station._fast_dirty = True  # back to WAITING, new earliest
+        self._disp_clean = False
+        if uop.consumers:
+            self._ripple_ready(uop)  # timing went back to unknown
+
+    # ------------------------------------------------------------------
+    # Phase 1: completion events.
+    # ------------------------------------------------------------------
+
+    def _process_events(self, cycle: int) -> bool:
+        events = self._events
+        if not events or events[0][0] > cycle:
+            return False
+        pop = heapq.heappop
+        tracer = self.tracer
+        activity = False
+        while events and events[0][0] <= cycle:
+            event_cycle, _, kind, epoch, uop, payload = pop(events)
+            if uop.epoch != epoch or uop.state is not _INFLIGHT:
+                continue  # stale (cancelled and possibly re-dispatched)
+            if kind:  # _EV_RESOLVE
+                self._apply_load_resolution(payload, event_cycle)
+            else:
+                uop.state = _DONE
+                if uop.result_ready >= FAR_FUTURE and uop.consumers:
+                    # INFLIGHT treated this producer as unknown; DONE
+                    # values it at result_ready - offset.
+                    self._ripple_ready(uop)
+                if tracer is not None:
+                    tracer.emit(event_cycle, "complete", uop.seq, uop.mem_level)
+                if not uop.confirmed:
+                    self._confirm(uop)
+                if uop.is_branch and uop.mispredicted:
+                    self.fetch.redirect(cycle)
+            activity = True
+        if activity:
+            self._mut += 1
+        return activity
+
+    # ------------------------------------------------------------------
+    # Phase 2: commit (and slot recycling).
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> int:
+        window = self.window
+        head = self._window_head
+        if head >= len(window):
+            return 0
+        uop = window[head]
+        if uop.state is not _DONE or uop.done_cycle > cycle:
+            return 0
+        lsu = self.lsu
+        by_uop = lsu._by_uop
+        rename = self.rename
+        renmap = rename._producers
+        stats = self.stats
+        tracer = self.tracer
+        retired = self._retired
+        recycle = self._recycle
+        barrier = self._seq
+        commit_width = self._commit_width
+        exec_offset = self._exec_offset
+        committed = 0
+        while committed < commit_width and head < len(window):
+            uop = window[head]
+            if uop.state is not _DONE or uop.done_cycle > cycle:
+                break
+            if uop.is_store:
+                entry = by_uop.get(uop.seq)
+                if entry is not None:
+                    producer = entry.data_producer
+                    if producer is not None and producer.state is not _COMMITTED:
+                        if not (
+                            producer.state is _DONE
+                            and producer.result_ready <= cycle
+                        ):
+                            break
+            uop.state = _COMMITTED
+            uop.commit_cycle = cycle
+            if uop.result_ready - exec_offset > cycle and uop.consumers:
+                # COMMITTED producers are skipped by the readiness
+                # formula; without forwarding the DONE valuation could
+                # still lie in the future, so the bound just dropped.
+                self._ripple_ready(uop)
+            if tracer is not None:
+                tracer.emit(cycle, "commit", uop.seq)
+            kind = uop.dest_kind
+            if kind == _KIND_INT:
+                rename.int_in_use -= 1
+            elif kind == _KIND_FP:
+                rename.fp_in_use -= 1
+            if recycle:
+                # Prebuilt mode never writes the rename map (static
+                # producer links), so there is nothing to retire.
+                dest = uop.dest
+                if dest >= 0 and renmap.get(dest) is uop:
+                    del renmap[dest]
+            if uop.holds_rs_entry:
+                uop.station.entries.remove(uop)
+                uop.holds_rs_entry = False
+            if uop.is_load:
+                lsu.release(uop)
+                stats.loads += 1
+            elif uop.is_store:
+                lsu.store_committed(uop, cycle)
+                stats.stores += 1
+            elif uop.is_branch:
+                stats.branches += 1
+            if recycle:
+                retired.append((uop, barrier))
+            head += 1
+            committed += 1
+        if committed:
+            self._mut += 1
+            if head > 256:
+                del window[:head]
+                head = 0
+            self._window_head = head
+            # Recycle retired slots whose barrier has passed: everything
+            # decoded before their commit has itself committed, and the
+            # store queue holds no entry old enough to reference them.
+            if recycle and retired:
+                stores = lsu._stores
+                live_min = window[head].seq if head < len(window) else self._seq
+                if stores:
+                    oldest_store = stores[0].uop.seq
+                    if oldest_store < live_min:
+                        live_min = oldest_store
+                pool = self._pool
+                while retired and retired[0][1] <= live_min:
+                    slot, _ = retired.popleft()
+                    slot.epoch += 1  # monotone across reuse: stale
+                    pool.append(slot)  # events/waiters can never match
+        else:
+            self._window_head = head
+        return committed
+
+    # ------------------------------------------------------------------
+    # Phase 4: dispatch (memoized selection).
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        cycle: int,
+        _WAITING=_WAITING,
+        _COMMITTED=_COMMITTED,
+        _DONE=_DONE,
+        _INFLIGHT=_INFLIGHT,
+        _FAR=FAR_FUTURE,
+    ) -> bool:
+        if not self._speculative:
+            return self._dispatch_generic(cycle)
+        if self._disp_clean:
+            ne = self._disp_ne
+            if ne is None or cycle < ne:
+                # Every station is clean and none has reached its noted
+                # wake cycle: the whole loop would be no-ops.
+                return False
+        special_serialize = self._special_serialize
+        window = self.window
+        activity = False
+        all_clean = True
+        global_ne = None
+        for station in self._stations_tuple:
+            if not station._fast_dirty:
+                ne = station.next_eligible
+                if ne is None or cycle < ne:
+                    # Nothing changed since the last empty selection and
+                    # no noted wake cycle has been reached: a re-scan
+                    # would return empty with the same next_eligible.
+                    if ne is not None and (global_ne is None or ne < global_ne):
+                        global_ne = ne
+                    continue
+            entries = station.entries
+            unit_busy = station.unit_busy
+            if not entries:
+                # select() over an empty station only notes busy units.
+                ne = None
+                for busy in unit_busy:
+                    if busy > cycle and (ne is None or busy < ne):
+                        ne = busy
+                station.next_eligible = ne
+                station._fast_dirty = False
+                if ne is not None and (global_ne is None or ne < global_ne):
+                    global_ne = ne
+                continue
+            if station.dispatch_width > 2:
+                selected = station.select(cycle, self._exec_offset, True)
+                all_clean = False  # wide stations are never memoized
+            else:
+                # Single scan replacing select()'s per-slot rescans: the
+                # per-slot picks are exactly the k oldest eligible
+                # entries, where k counts the non-busy unit slots, and
+                # the wake notes of the rescans are identical to one
+                # scan's (a selected entry never contributes a note).
+                free_slots = 0
+                ne = None
+                for busy in unit_busy:
+                    if busy > cycle:
+                        if ne is None or busy < ne:
+                            ne = busy
+                    else:
+                        free_slots += 1
+                best1 = best2 = None
+                if free_slots:
+                    for uop in entries:
+                        if uop.state is not _WAITING:
+                            continue
+                        earliest = uop.earliest_dispatch
+                        if earliest > cycle:
+                            if ne is None or earliest < ne:
+                                ne = earliest
+                            continue
+                        ready_at = uop.ready_lb
+                        if ready_at > cycle:
+                            if ready_at < _FAR and (ne is None or ready_at < ne):
+                                ne = ready_at
+                            continue
+                        if best1 is None or uop.seq < best1.seq:
+                            best2 = best1
+                            best1 = uop
+                        elif best2 is None or uop.seq < best2.seq:
+                            best2 = uop
+                station.next_eligible = ne
+                if best1 is None:
+                    station._fast_dirty = False
+                    if ne is not None and (global_ne is None or ne < global_ne):
+                        global_ne = ne
+                    continue
+                selected = (
+                    (best1, best2)
+                    if free_slots > 1 and best2 is not None
+                    else (best1,)
+                )
+            # Non-empty selection: the station stays dirty (a dispatch
+            # mutates it; a serialize-blocked pick must retry next cycle).
+            station._fast_dirty = True
+            all_clean = False
+            for slot, uop in enumerate(selected):
+                if uop.serialize and special_serialize:
+                    head = self._window_head
+                    if not (head < len(window) and window[head] is uop):
+                        continue
+                self._do_dispatch(uop, cycle, station, slot)
+                activity = True
+        if all_clean:
+            self._disp_clean = True
+            self._disp_ne = global_ne
+        else:
+            self._disp_clean = False
+        return activity
+
+    def _next_cycle(self, cycle: int) -> int:
+        """Idle-cycle jump target; station notes read directly.
+
+        The reference engine caches the min station ``next_eligible`` at
+        the tail of its dispatch walk, which visits every station each
+        cycle.  The fast dispatch skips clean stations entirely, so that
+        cache cannot be maintained with identical semantics here — but
+        the skipped stations' notes are untouched (that is what made
+        them skippable), so reading the attributes directly gives the
+        same min the reference computes.
+        """
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        wakes = self._wakes
+        while wakes and wakes[0] <= cycle:
+            heapq.heappop(wakes)
+        if wakes:
+            candidates.append(wakes[0])
+        fetch_wake = self.fetch.next_wake_cycle()
+        if fetch_wake is not None and fetch_wake > cycle:
+            candidates.append(fetch_wake)
+        # Same buffered-group delivery candidate as the reference walk;
+        # the head run's avail cycle is the buffer head's avail cycle.
+        runs = self.fetch._runs
+        if runs:
+            head_avail = runs[0][0]
+            if head_avail > cycle:
+                candidates.append(head_avail)
+        lsu_wake = self.lsu.pending_work_cycle(cycle)
+        if lsu_wake is not None:
+            candidates.append(lsu_wake)
+        for station in self._stations_tuple:
+            ne = station.next_eligible
+            if ne is not None and ne > cycle:
+                candidates.append(ne)
+        if not candidates:
+            return cycle + 1
+        return max(cycle + 1, min(candidates))
+
+    def _dispatch_generic(self, cycle: int) -> bool:
+        """Reference-shaped dispatch (non-speculative configs)."""
+        speculative = self._speculative
+        exec_offset = self._exec_offset
+        special_serialize = self._special_serialize
+        window = self.window
+        activity = False
+        for station in self._all_stations:
+            if station._fast_memo == self._mut:
+                next_eligible = station.next_eligible
+                if next_eligible is None or cycle < next_eligible:
+                    continue
+            selected = station.select(cycle, exec_offset, speculative)
+            if not selected:
+                station._fast_memo = self._mut
+                continue
+            station._fast_memo = -1
+            for slot, uop in enumerate(selected):
+                if uop.serialize and special_serialize:
+                    head = self._window_head
+                    if not (head < len(window) and window[head] is uop):
+                        continue
+                self._do_dispatch(uop, cycle, station, slot)
+                activity = True
+        return activity
+
+    def _do_dispatch(
+        self,
+        uop,
+        cycle: int,
+        station,
+        slot: int,
+        _INFLIGHT=_INFLIGHT,
+        _heappush=heapq.heappush,
+    ) -> None:
+        self._mut += 1
+        uop.state = _INFLIGHT
+        uop.dispatch_cycle = cycle
+        station.dispatches += 1
+        self.stats.dispatches += 1
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "dispatch", uop.seq, station.name)
+        exec_start = cycle + self._exec_offset
+
+        unconfirmed = 0
+        epoch = uop.epoch
+        for producer in uop.producers:
+            if producer.state is _INFLIGHT and not producer.confirmed:
+                producer.waiters.append((uop, epoch))
+                unconfirmed += 1
+        uop.unconfirmed = unconfirmed
+        uop.speculative = unconfirmed > 0
+
+        if uop.is_load:
+            addr_ready = exec_start + 1  # EAG latency
+            predicted = addr_ready + self._l1d_hit
+            uop.result_ready = predicted  # speculative prediction (§3.1)
+            uop.confirmed = False
+            if uop.consumers:
+                self._ripple_ready(uop)
+            self.lsu.address_generated(uop, addr_ready, predicted)
+            if unconfirmed == 0 and uop.holds_rs_entry:
+                station.entries.remove(uop)
+                uop.holds_rs_entry = False
+            _heappush(self._wakes, addr_ready)
+            return
+        if uop.is_store:
+            addr_ready = exec_start + 1
+            self.lsu.address_generated(uop, addr_ready, 0)
+            uop.done_cycle = addr_ready
+            confirmed = unconfirmed == 0
+            uop.confirmed = confirmed
+            if confirmed and uop.holds_rs_entry:
+                station.entries.remove(uop)
+                uop.holds_rs_entry = False
+            counter = self._event_counter + 1
+            self._event_counter = counter
+            _heappush(
+                self._events, (addr_ready, counter, _EV_DONE, epoch, uop, None)
+            )
+            return
+
+        done = exec_start + uop.lat
+        result_ready = done if self._forwarding else done + self._no_fwd_pen
+        uop.result_ready = result_ready
+        uop.done_cycle = done
+        if uop.consumers:
+            self._ripple_ready(uop)
+        confirmed = unconfirmed == 0
+        uop.confirmed = confirmed
+        if confirmed and uop.holds_rs_entry:
+            station.entries.remove(uop)
+            uop.holds_rs_entry = False
+        if uop.is_div:
+            station.unit_busy[slot % station.dispatch_width] = done
+        counter = self._event_counter + 1
+        self._event_counter = counter
+        _heappush(self._events, (done, counter, _EV_DONE, epoch, uop, None))
+
+    def _schedule_done(self, uop, cycle: int) -> None:
+        counter = self._event_counter + 1
+        self._event_counter = counter
+        heapq.heappush(
+            self._events, (cycle, counter, _EV_DONE, uop.epoch, uop, None)
+        )
+
+    def _schedule_resolution(self, resolution) -> None:
+        """Reference semantics with the int event kind and hoisted L1 hit."""
+        uop = resolution.uop
+        if resolution.level == "forward":
+            apply_at = resolution.ready_cycle
+        else:
+            apply_at = resolution.issue_cycle + self._l1d_hit
+        counter = self._event_counter + 1
+        self._event_counter = counter
+        heapq.heappush(
+            self._events,
+            (apply_at, counter, _EV_RESOLVE, uop.epoch, uop, resolution),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 5: decode (prepass-driven, pooled µops).
+    # ------------------------------------------------------------------
+
+    def _decode(self, cycle: int) -> bool:
+        fetch = self.fetch
+        runs = fetch._runs
+        if not runs:
+            return False
+        run = runs[0]
+        if run[0] > cycle:
+            return False
+        records = fetch._records
+        window = self.window
+        head = self._window_head
+        window_cap = self._window_cap
+        rename = self.rename
+        renmap = rename._producers
+        lsu = self.lsu
+        pre = self._pre
+        stalls = self._decode_stalls
+        pool = self._pool
+        tracer = self.tracer
+        issue_width = self._issue_width
+        rsa = self.rsa
+        rsbr = self.rsbr
+        index = self._decode_index
+        seq = self._seq
+        off = self._exec_offset
+        far = FAR_FUTURE
+        decoded = 0
+        while decoded < issue_width:
+            if len(window) - head >= window_cap:
+                stalls[cat.DECODE_WINDOW] += 1
+                break
+            kind, sclass, srcs, data_src, lat, op, dest, serialize, is_div = pre[index]
+            if kind == _KIND_INT:
+                if rename.int_in_use >= self._int_rename_cap:
+                    stalls[cat.DECODE_RENAME_INT] += 1
+                    break
+            elif kind == _KIND_FP:
+                if rename.fp_in_use >= self._fp_rename_cap:
+                    stalls[cat.DECODE_RENAME_FP] += 1
+                    break
+            if sclass == _RSE:
+                station = None
+                best_occupancy = 1 << 30
+                for candidate in self._rse_stations:
+                    occupancy = len(candidate.entries)
+                    if occupancy < candidate.capacity and occupancy < best_occupancy:
+                        station = candidate
+                        best_occupancy = occupancy
+                if station is None:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+            elif sclass == _RSF:
+                station = None
+                best_occupancy = 1 << 30
+                for candidate in self._rsf_stations:
+                    occupancy = len(candidate.entries)
+                    if occupancy < candidate.capacity and occupancy < best_occupancy:
+                        station = candidate
+                        best_occupancy = occupancy
+                if station is None:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+            elif sclass == _RSBR:
+                station = rsbr
+                if len(station.entries) >= station.capacity:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+            else:
+                station = rsa
+                if len(station.entries) >= station.capacity:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+                if sclass == _LOAD:
+                    if len(lsu._loads) >= self._lq_cap:
+                        stalls[cat.DECODE_LQ] += 1
+                        break
+                elif len(lsu._stores) >= self._sq_cap:
+                    stalls[cat.DECODE_SQ] += 1
+                    break
+
+            record = records[index]
+            if pool:
+                uop = pool.pop()  # epoch already bumped at recycle time
+            else:
+                uop = _FastUop.__new__(_FastUop)
+                uop.epoch = 0
+            uop.seq = seq
+            uop.record = record
+            uop.state = _WAITING
+            uop.dest_kind = kind
+
+            # Producer edges.  For stores the final source is the data
+            # operand, which gates the queue write, not address gen.
+            data_producer = None
+            if data_src >= 0:
+                producer = renmap.get(data_src)
+                if producer is not None and producer.state is not _COMMITTED:
+                    data_producer = producer
+            producers = []
+            for src in srcs:
+                producer = renmap.get(src)
+                if (
+                    producer is not None
+                    and producer.state is not _COMMITTED
+                    and producer not in producers
+                ):
+                    producers.append(producer)
+            uop.producers = tuple(producers)
+            uop.consumers = []
+            ready_lb = 0
+            for producer in producers:
+                producer.consumers.append(uop)
+                state = producer.state
+                if state is _DONE:
+                    candidate = producer.result_ready - off
+                elif state is _INFLIGHT:
+                    ready = producer.result_ready
+                    if ready >= far:
+                        ready_lb = far
+                        continue
+                    candidate = ready - off
+                else:  # WAITING producer
+                    ready_lb = far
+                    continue
+                if candidate > ready_lb:
+                    ready_lb = candidate
+            uop.ready_lb = ready_lb
+            uop.waiters = []
+            uop.unconfirmed = 0
+            uop.station = station
+            uop.holds_rs_entry = True
+            station.entries.append(uop)
+            station._fast_dirty = True
+            uop.dispatch_cycle = -1
+            uop.earliest_dispatch = 0
+            uop.result_ready = FAR_FUTURE
+            uop.done_cycle = FAR_FUTURE
+            uop.replays = 0
+            uop.speculative = False
+            uop.confirmed = False
+            uop.lsq_index = -1
+            uop.mispredicted = run[2] and index + 1 == run[1]
+            uop.decode_cycle = cycle
+            uop.commit_cycle = -1
+            uop.mem_level = None
+            uop.op = op
+            uop.dest = dest
+            uop.lat = lat
+            uop.serialize = serialize
+            uop.is_div = is_div
+            if sclass == _LOAD:
+                uop.is_load = True
+                uop.is_store = False
+                uop.is_branch = False
+                entry = _LoadEntry(uop)
+                lsu._loads.append(entry)
+                lsu._by_uop[seq] = entry
+            elif sclass == _STORE:
+                uop.is_load = False
+                uop.is_store = True
+                uop.is_branch = False
+                entry = _StoreEntry(uop, data_producer)
+                lsu._stores.append(entry)
+                lsu._by_uop[seq] = entry
+            else:
+                uop.is_load = False
+                uop.is_store = False
+                uop.is_branch = sclass == _RSBR
+
+            if dest >= 0:
+                if kind == _KIND_INT:
+                    rename.int_in_use += 1
+                elif kind == _KIND_FP:
+                    rename.fp_in_use += 1
+                renmap[dest] = uop
+
+            window.append(uop)
+            if tracer is not None:
+                tracer.emit(cycle, "decode", seq, record.pc, op.name)
+            seq += 1
+            index += 1
+            decoded += 1
+            if index == run[1]:
+                runs.popleft()
+                if not runs:
+                    break
+                run = runs[0]
+                if run[0] > cycle:
+                    break
+        if decoded:
+            fetch._buffered -= decoded
+            self._seq = seq
+            self._decode_index = index
+            self._mut += 1
+            self._disp_clean = False
+            return True
+        return False
+
+    def _decode_prebuilt(self, cycle: int) -> bool:
+        """Decode fast path over prebuilt µops (bounded traces).
+
+        Identical checks, stall ticks and side effects as
+        :meth:`_decode`; the µop comes from ``_prebuilt`` with every
+        static field and reset-safe default already in place.
+        """
+        fetch = self.fetch
+        runs = fetch._runs
+        if not runs:
+            return False
+        run = runs[0]
+        if run[0] > cycle:
+            return False
+        window = self.window
+        head = self._window_head
+        window_cap = self._window_cap
+        if len(window) - head >= window_cap:
+            # Full window: the loop below would stall-tick and break on
+            # its first iteration; skip the heavy prologue entirely.
+            self._decode_stalls[cat.DECODE_WINDOW] += 1
+            return False
+        rename = self.rename
+        lsu = self.lsu
+        kinds = self._pre_kind
+        classes = self._pre_class
+        prebuilt = self._prebuilt
+        sprod = self._static_prod
+        sdata = self._static_data
+        stalls = self._decode_stalls
+        tracer = self.tracer
+        issue_width = self._issue_width
+        rsa = self.rsa
+        rsbr = self.rsbr
+        index = self._decode_index
+        off = self._exec_offset
+        far = FAR_FUTURE
+        run_end = run[1]
+        run_misp = run[2]
+        decoded = 0
+        while decoded < issue_width:
+            if len(window) - head >= window_cap:
+                stalls[cat.DECODE_WINDOW] += 1
+                break
+            kind = kinds[index]
+            sclass = classes[index]
+            if kind == _KIND_INT:
+                if rename.int_in_use >= self._int_rename_cap:
+                    stalls[cat.DECODE_RENAME_INT] += 1
+                    break
+            elif kind == _KIND_FP:
+                if rename.fp_in_use >= self._fp_rename_cap:
+                    stalls[cat.DECODE_RENAME_FP] += 1
+                    break
+            if sclass == _RSE:
+                station = None
+                best_occupancy = 1 << 30
+                for candidate in self._rse_stations:
+                    occupancy = len(candidate.entries)
+                    if occupancy < candidate.capacity and occupancy < best_occupancy:
+                        station = candidate
+                        best_occupancy = occupancy
+                if station is None:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+            elif sclass == _RSF:
+                station = None
+                best_occupancy = 1 << 30
+                for candidate in self._rsf_stations:
+                    occupancy = len(candidate.entries)
+                    if occupancy < candidate.capacity and occupancy < best_occupancy:
+                        station = candidate
+                        best_occupancy = occupancy
+                if station is None:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+            elif sclass == _RSBR:
+                station = rsbr
+                if len(station.entries) >= station.capacity:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+            else:
+                station = rsa
+                if len(station.entries) >= station.capacity:
+                    stalls[cat.DECODE_RS] += 1
+                    break
+                if sclass == _LOAD:
+                    if len(lsu._loads) >= self._lq_cap:
+                        stalls[cat.DECODE_LQ] += 1
+                        break
+                elif len(lsu._stores) >= self._sq_cap:
+                    stalls[cat.DECODE_SQ] += 1
+                    break
+
+            uop = prebuilt[index]
+
+            # Producer edges from the static last-writer links.  For
+            # stores the final source is the data operand, which gates
+            # the queue write, not address gen.
+            data_seq = sdata[index]
+            data_producer = None
+            if data_seq >= 0:
+                producer = prebuilt[data_seq]
+                if producer.state is not _COMMITTED:
+                    data_producer = producer
+            ready_lb = 0
+            seqs = sprod[index]
+            if seqs:
+                producers = []
+                for seq in seqs:
+                    producer = prebuilt[seq]
+                    state = producer.state
+                    if state is _COMMITTED:
+                        continue
+                    producers.append(producer)
+                    producer.consumers.append(uop)
+                    if state is _DONE:
+                        candidate = producer.result_ready - off
+                    elif state is _INFLIGHT:
+                        ready = producer.result_ready
+                        if ready >= far:
+                            ready_lb = far
+                            continue
+                        candidate = ready - off
+                    else:  # WAITING producer: timing unknown
+                        ready_lb = far
+                        continue
+                    if candidate > ready_lb:
+                        ready_lb = candidate
+                uop.producers = tuple(producers)
+            uop.ready_lb = ready_lb
+            uop.station = station
+            station.entries.append(uop)
+            station._fast_dirty = True
+            if run_misp and index + 1 == run_end:
+                uop.mispredicted = True
+            uop.decode_cycle = cycle
+            if sclass == _LOAD:
+                entry = _LoadEntry(uop)
+                lsu._loads.append(entry)
+                lsu._by_uop[index] = entry
+            elif sclass == _STORE:
+                entry = _StoreEntry(uop, data_producer)
+                lsu._stores.append(entry)
+                lsu._by_uop[index] = entry
+
+            # Rename-map writes are skipped: with static producer links
+            # nothing reads ``rename._producers`` in prebuilt mode, so
+            # only the in-use counters (which gate decode) are kept.
+            if kind == _KIND_INT:
+                rename.int_in_use += 1
+            elif kind == _KIND_FP:
+                rename.fp_in_use += 1
+
+            window.append(uop)
+            if tracer is not None:
+                tracer.emit(cycle, "decode", index, uop.record.pc, uop.op.name)
+            index += 1
+            decoded += 1
+            if index == run_end:
+                runs.popleft()
+                if not runs:
+                    break
+                run = runs[0]
+                if run[0] > cycle:
+                    break
+                run_end = run[1]
+                run_misp = run[2]
+        if decoded:
+            fetch._buffered -= decoded
+            self._seq = index
+            self._decode_index = index
+            self._mut += 1
+            self._disp_clean = False
+            return True
+        return False

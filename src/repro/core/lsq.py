@@ -87,6 +87,11 @@ class LoadStoreUnit:
         self.last_conflict_seq = -1
         self.last_order_stall_cycle = -1
         self.last_order_stall_seq = -1
+        # Cached earliest-pending-work cycle (see pending_work_cycle).
+        # _pending_min is the raw minimum over entry milestones — a
+        # cycle-independent quantity — recomputed lazily when stale.
+        self._pending_min = FAR_FUTURE
+        self._pending_dirty = False
 
     # ------------------------------------------------------------------
     # Allocation (decode time).
@@ -128,6 +133,10 @@ class LoadStoreUnit:
             entry.addr_known_at = cycle
             entry.issued = False
             entry.predicted_ready = predicted_ready
+            # The load became issuable at ``cycle``: fold it into the
+            # cached minimum (exact even while other milestones hold).
+            if cycle < self._pending_min:
+                self._pending_min = cycle
         else:
             entry.addr_known_at = cycle  # type: ignore[union-attr]
 
@@ -137,20 +146,25 @@ class LoadStoreUnit:
         if isinstance(entry, _LoadEntry):
             entry.addr_known_at = FAR_FUTURE
             entry.issued = False
+            self._pending_dirty = True  # a candidate disappeared
 
     def store_committed(self, uop: Uop, cycle: int) -> None:
         entry = self._by_uop.get(uop.seq)
         if not isinstance(entry, _StoreEntry):
             raise SimulationError(f"commit of unknown store #{uop.seq}")
         entry.committed_at = cycle
+        if entry.addr_known_at < self._pending_min:
+            self._pending_min = entry.addr_known_at
 
     def release(self, uop: Uop) -> None:
         """Free a load entry at commit (stores free after their write)."""
         entry = self._by_uop.pop(uop.seq, None)
         if isinstance(entry, _LoadEntry):
             self._loads.remove(entry)
+            self._pending_dirty = True
         elif isinstance(entry, _StoreEntry):
             self._stores.remove(entry)
+            self._pending_dirty = True
 
     # ------------------------------------------------------------------
     # Per-cycle operation.
@@ -219,6 +233,9 @@ class LoadStoreUnit:
             self._by_uop.pop(store.uop.seq, None)
             activity = True
 
+        if activity:
+            # Issues, writes and reaps all consume or move milestones.
+            self._pending_dirty = True
         return resolutions, activity
 
     def _try_issue_load(
@@ -228,12 +245,14 @@ class LoadStoreUnit:
         ea = uop.record.ea
         aligned = ea & ~0x7
 
-        # Memory-order check against older stores.
+        # Memory-order check against older stores.  The store queue is
+        # allocated in decode order, so the first younger entry ends the
+        # scan.
         blocking_store: Optional[_StoreEntry] = None
         forward_from: Optional[_StoreEntry] = None
         for store in self._stores:
             if store.uop.seq > uop.seq:
-                continue
+                break
             if store.addr_known_at > cycle:
                 blocking_store = store
                 break
@@ -279,22 +298,39 @@ class LoadStoreUnit:
 
     # ------------------------------------------------------------------
 
-    def pending_work_cycle(self, cycle: int) -> Optional[int]:
-        """Earliest future cycle at which the LSU has something to do."""
-        best: Optional[int] = None
+    def _refresh_pending(self) -> int:
+        """Recompute the raw pending-work minimum (cycle-independent)."""
+        best = FAR_FUTURE
         for load in self._loads:
-            if not load.issued and load.addr_known_at < FAR_FUTURE:
-                candidate = max(load.addr_known_at, cycle + 1)
-                best = candidate if best is None else min(best, candidate)
+            if not load.issued and load.addr_known_at < best:
+                best = load.addr_known_at
         for store in self._stores:
             if store.write_done_at >= 0:
-                candidate = max(store.write_done_at, cycle + 1)
-            elif store.committed_at >= 0 and store.addr_known_at < FAR_FUTURE:
-                candidate = max(store.addr_known_at, cycle + 1)
-            else:
-                continue
-            best = candidate if best is None else min(best, candidate)
+                if store.write_done_at < best:
+                    best = store.write_done_at
+            elif store.committed_at >= 0 and store.addr_known_at < best:
+                best = store.addr_known_at
+        self._pending_min = best
+        self._pending_dirty = False
         return best
+
+    def pending_work_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which the LSU has something to do.
+
+        The per-entry minimum is cached and invalidated on queue
+        mutations, so idle-span jumps don't re-walk both queues on every
+        call; ``max(min, cycle + 1)`` reproduces the eager per-entry
+        clamping exactly.
+        """
+        best = self._refresh_pending() if self._pending_dirty else self._pending_min
+        if best >= FAR_FUTURE:
+            return None
+        return max(best, cycle + 1)
+
+    def has_work(self, cycle: int) -> bool:
+        """True when :meth:`step` would find at least one candidate."""
+        best = self._refresh_pending() if self._pending_dirty else self._pending_min
+        return best <= cycle
 
     def occupancy(self) -> Tuple[int, int]:
         return len(self._loads), len(self._stores)

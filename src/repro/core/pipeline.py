@@ -178,6 +178,12 @@ class ProcessorCore:
         self._events: List[tuple] = []  # (cycle, counter, kind, epoch, uop, payload)
         self._event_counter = 0
         self._wakes: List[int] = []
+        #: Min over station ``next_eligible`` notes, maintained at the
+        #: tail of :meth:`_dispatch` so the idle-cycle jump does not
+        #: re-walk every station (the notes cannot change between
+        #: dispatch and :meth:`_next_cycle`: only ``select`` writes them,
+        #: and decode/fetch never do).
+        self._station_wake: Optional[int] = None
         self._trace_length = len(trace)
         self._committed = 0
         self.stats = CoreStats()
@@ -438,12 +444,20 @@ class ProcessorCore:
         fetch_wake = self.fetch.next_wake_cycle()
         if fetch_wake is not None and fetch_wake > cycle:
             candidates.append(fetch_wake)
+        # A buffered group still in the fetch pipe becomes decodable at
+        # its delivery cycle even while fetch itself stalls on the next
+        # group's I-miss; without this candidate the jump overshoots it.
+        buffer = self.fetch._buffer
+        if buffer:
+            head_avail = buffer[0].avail_cycle
+            if head_avail > cycle:
+                candidates.append(head_avail)
         lsu_wake = self.lsu.pending_work_cycle(cycle)
         if lsu_wake is not None:
             candidates.append(lsu_wake)
-        for station in self._all_stations:
-            if station.next_eligible is not None and station.next_eligible > cycle:
-                candidates.append(station.next_eligible)
+        station_wake = self._station_wake
+        if station_wake is not None and station_wake > cycle:
+            candidates.append(station_wake)
         if not candidates:
             return cycle + 1
         return max(cycle + 1, min(candidates))
@@ -676,6 +690,7 @@ class ProcessorCore:
         speculative = self.params.speculative_dispatch
         exec_offset = self.params.dispatch_to_exec
         activity = False
+        wake = None
         for station in self._all_stations:
             selected = station.select(cycle, exec_offset, speculative)
             for slot, uop in enumerate(selected):
@@ -687,6 +702,10 @@ class ProcessorCore:
                     continue
                 self._do_dispatch(uop, cycle, station, slot)
                 activity = True
+            ne = station.next_eligible
+            if ne is not None and ne > cycle and (wake is None or ne < wake):
+                wake = ne
+        self._station_wake = wake
         return activity
 
     def _is_oldest(self, uop: Uop) -> bool:

@@ -1,0 +1,194 @@
+"""Reference vs fast core engine: bit-identity, everywhere.
+
+The fast engine (:mod:`repro.core.fastcore`) is only allowed to exist
+because it changes *nothing* observable: every counter, CPI-stack
+bucket and derived metric must equal the reference engine's on every
+workload, driver (merged ``run``, per-cycle ``step_cycle`` under SMP,
+windowed ``run_measured`` under sampling) and µop representation
+(prebuilt slots for bounded traces, the pooled recycling fallback for
+megatraces).  These tests pin that contract; a single differing field
+is a correctness bug in the fast engine, never an acceptable tradeoff.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.workloads import standard_workloads, workload_by_name
+from repro.core import fastcore
+from repro.frontend.bht import BHT_4K_2W_1T, BHT_16K_4W_2T
+from repro.model.config import base_config
+from repro.model.simulator import PerformanceModel
+from repro.smp.system import run_smp
+from repro.trace.sampling import SamplingPlan
+from repro.trace.synth import build_smp_generators, standard_profiles
+
+WARM = 2_000
+TIMED = 5_000
+
+
+def _strip_speed(payload):
+    """Drop wall-clock-derived keys; everything else must be identical."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_speed(value)
+            for key, value in payload.items()
+            if key not in ("sim_speed", "sim_speed_ips")
+        }
+    if isinstance(payload, list):
+        return [_strip_speed(value) for value in payload]
+    return payload
+
+
+def _run_both(config, workload, **kwargs):
+    trace = workload.trace()
+    regions = workload.regions()
+    reference = PerformanceModel(config, engine="reference").run(
+        trace, warmup_fraction=workload.warmup_fraction, regions=regions, **kwargs
+    )
+    fast = PerformanceModel(config, engine="fast").run(
+        trace, warmup_fraction=workload.warmup_fraction, regions=regions, **kwargs
+    )
+    return reference, fast
+
+
+def _assert_identical(reference, fast):
+    # Full serialised result (counters, cache stats, utilizations, ...).
+    assert _strip_speed(fast.as_dict(include_speed=False)) == _strip_speed(
+        reference.as_dict(include_speed=False)
+    )
+    # Core stats dataclass, including the CPI stack and stall breakdowns.
+    assert dataclasses.asdict(fast.core) == dataclasses.asdict(reference.core)
+    assert fast.cpi_stack_report() == reference.cpi_stack_report()
+
+
+@pytest.mark.parametrize(
+    "name", ["SPECint95", "SPECfp95", "SPECint2000", "SPECfp2000", "TPC-C"]
+)
+def test_all_profiles_identical(name):
+    workload = next(
+        w for w in standard_workloads(warm=WARM, timed=TIMED) if w.name == name
+    )
+    reference, fast = _run_both(base_config(), workload)
+    _assert_identical(reference, fast)
+
+
+def test_smp_identical():
+    """SMP steps cores via step_cycle; both engines must agree there too."""
+    generators = build_smp_generators(standard_profiles()["TPC-C"], 2, seed=7)
+    traces = [generator.generate(6_000) for generator in generators]
+    regions = [generator.memory_regions() for generator in generators]
+    reference = run_smp(
+        base_config(), traces, warmup_fraction=0.25,
+        regions_per_cpu=regions, engine="reference",
+    )
+    fast = run_smp(
+        base_config(), traces, warmup_fraction=0.25,
+        regions_per_cpu=regions, engine="fast",
+    )
+    assert _strip_speed(fast.to_dict()) == _strip_speed(reference.to_dict())
+    assert fast.as_dict() == reference.as_dict()
+
+
+def test_sampled_identical():
+    """Windowed run_measured under a SMARTS plan is also bit-identical."""
+    plan = SamplingPlan(period=4_000, sample_length=400, warmup=300,
+                        detail_warmup=600)
+    workload = workload_by_name("TPC-C", warm=0, timed=20_000)
+    trace = workload.trace()
+    regions = workload.regions()
+    reference = PerformanceModel(base_config(), engine="reference").run_sampled(
+        trace, plan, regions=regions
+    )
+    fast = PerformanceModel(base_config(), engine="fast").run_sampled(
+        trace, plan, regions=regions
+    )
+    assert _strip_speed(fast.to_dict()) == _strip_speed(reference.to_dict())
+    assert fast.window_stacks == reference.window_stacks
+    assert fast.estimates_report() == reference.estimates_report()
+
+
+def test_pooled_fallback_identical(monkeypatch):
+    """Megatrace path: pooled slot recycling instead of prebuilt µops.
+
+    Forcing the prebuild limit to -1 makes every trace take the pooled
+    path, so this run exercises slot recycling, epoch bumps and the
+    rename-map-backed decode — all invisible in the results.
+    """
+    monkeypatch.setattr(fastcore, "_PREBUILD_LIMIT", -1)
+    workload = workload_by_name("TPC-C", warm=WARM, timed=TIMED)
+    reference, fast = _run_both(base_config(), workload)
+    _assert_identical(reference, fast)
+
+
+def _tracer_pair():
+    from repro.observe import PipelineTracer
+
+    return PipelineTracer(capacity=2_048), PipelineTracer(capacity=2_048)
+
+
+def test_traced_runs_identical():
+    """Attaching a tracer must not perturb either engine's numbers."""
+    workload = workload_by_name("SPECint95", warm=WARM, timed=TIMED)
+    ref_tracer, fast_tracer = _tracer_pair()
+    trace = workload.trace()
+    regions = workload.regions()
+    reference = PerformanceModel(base_config(), engine="reference").run(
+        trace, warmup_fraction=workload.warmup_fraction, regions=regions,
+        tracer=ref_tracer,
+    )
+    fast = PerformanceModel(base_config(), engine="fast").run(
+        trace, warmup_fraction=workload.warmup_fraction, regions=regions,
+        tracer=fast_tracer,
+    )
+    _assert_identical(reference, fast)
+
+
+# ----------------------------------------------------------------------
+# Property test: random small machines, same contract.
+# ----------------------------------------------------------------------
+
+_PROFILES = ("SPECint95", "SPECfp95", "TPC-C")
+
+
+@st.composite
+def small_configs(draw):
+    base = base_config()
+    issue = draw(st.sampled_from((2, 4)))
+    core = base.core.derived(
+        issue_width=issue,
+        commit_width=issue,
+        window_size=draw(st.sampled_from((16, 32, 64))),
+        rsa_entries=draw(st.sampled_from((4, 10))),
+        rsbr_entries=draw(st.sampled_from((3, 6))),
+        load_queue=draw(st.sampled_from((6, 16))),
+        store_queue=draw(st.sampled_from((5, 10))),
+        data_forwarding=draw(st.booleans()),
+    )
+    return base.derived(
+        "prop",
+        core=core,
+        bht=draw(st.sampled_from((BHT_4K_2W_1T, BHT_16K_4W_2T))),
+        perfect_branch_prediction=draw(st.booleans()),
+        prefetch=base.prefetch if draw(st.booleans()) else
+        dataclasses.replace(base.prefetch, enabled=False),
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    config=small_configs(),
+    profile=st.sampled_from(_PROFILES),
+    timed=st.integers(min_value=1_500, max_value=3_000),
+)
+def test_random_small_configs_identical(config, profile, timed):
+    workload = workload_by_name(profile, warm=500, timed=timed)
+    reference, fast = _run_both(config, workload)
+    _assert_identical(reference, fast)
