@@ -1,0 +1,131 @@
+"""Campaign-service throughput and recovery-latency guard.
+
+Drives a small campaign through :class:`repro.service.CampaignService`
+three ways and records the numbers in ``BENCH_service.json``:
+
+1. **throughput** — jobs/s over a distinct (config, workload) matrix on
+   a cold store (every job simulates);
+2. **dedup** — the same matrix submitted twice over, measuring the
+   single-flight hit rate (half the submissions must never simulate);
+3. **recovery** — a worker killed mid-campaign (``worker-crash``
+   fault), measuring seconds from the failure to the job's completed
+   retry via the service's recovery-latency tracker.
+
+A PR that drags scheduler overhead into the dispatch path, breaks the
+single-flight key, or slows crash recovery shows up as a regression
+here.
+"""
+
+import json
+import pathlib
+
+import conftest
+
+from repro.analysis.policy import RunPolicy
+from repro.common import faults
+from repro.service import CampaignService
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_service.json"
+
+#: Small points: this benchmark measures the service, not the simulator.
+WARM = int(4_000 * conftest.SCALE)
+TIMED = int(1_500 * conftest.SCALE)
+
+WORKLOADS = ("SPECint95", "SPECfp95", "SPECint2000", "SPECfp2000", "TPC-C")
+CONFIGS = ("base", "issue-2way")
+
+
+def _fresh_service(tmp_path, name, **kwargs) -> CampaignService:
+    kwargs.setdefault("jobs", max(conftest.JOBS, 2))
+    kwargs.setdefault(
+        "policy", RunPolicy(retries=2, backoff_base=0.01, backoff_max=0.05)
+    )
+    return CampaignService(
+        tmp_path / f"{name}.jsonl", cache_dir=str(tmp_path / name), **kwargs
+    )
+
+
+def test_service_throughput_dedup_and_recovery(benchmark, tmp_path):
+    faults.install_spec(None)
+    results = {}
+
+    def campaign():
+        # Leg 1: cold matrix, every job simulates.
+        service = _fresh_service(tmp_path, "throughput")
+        import time
+
+        started = time.perf_counter()
+        for workload in WORKLOADS:
+            for config in CONFIGS:
+                service.submit_point(
+                    workload, config=config, warm=WARM, timed=TIMED
+                )
+        service.run()
+        elapsed = time.perf_counter() - started
+        assert service.queue.drained()
+        results["throughput"] = {
+            "jobs": service.stats.dispatched,
+            "seconds": elapsed,
+            "jobs_per_second": service.stats.dispatched / elapsed,
+        }
+        service.close()
+
+        # Leg 2: same matrix submitted twice; dedup + store hits mean
+        # zero additional simulations.
+        service = _fresh_service(tmp_path, "throughput")
+        for _round in range(2):
+            for workload in WORKLOADS:
+                for config in CONFIGS:
+                    service.submit_point(
+                        workload, config=config, warm=WARM, timed=TIMED
+                    )
+        service.run()
+        stats = service.queue.stats
+        results["dedup"] = {
+            "submitted": stats.submitted,
+            "deduped": stats.deduped,
+            "simulated": service.stats.dispatched,
+            "dedup_hit_rate": (stats.deduped + service.stats.cache_hits)
+            / stats.submitted,
+        }
+        assert service.stats.dispatched == 0  # everything came from dedup/cache
+        service.close()
+
+        # Leg 3: kill the first worker; measure failure-to-recovery.
+        faults.install_spec("worker-crash,times=1")
+        try:
+            service = _fresh_service(tmp_path, "recovery")
+            service.submit_point("SPECint95", warm=WARM, timed=TIMED)
+            service.run()
+            assert service.queue.drained()
+            assert service.queue.stats.failures >= 1
+            assert service.stats.recovery_seconds
+            results["recovery"] = {
+                "worker_kills": 1,
+                "pool_restarts": service.stats.pool_restarts,
+                "recovery_seconds": round(
+                    max(service.stats.recovery_seconds), 3
+                ),
+            }
+            service.close()
+        finally:
+            faults.install_spec(None)
+            faults.reset()
+
+    benchmark.pedantic(campaign, rounds=1, iterations=1)
+
+    payload = {
+        "scale": conftest.SCALE,
+        "warm": WARM,
+        "timed": TIMED,
+        "matrix": f"{len(WORKLOADS)} workloads x {len(CONFIGS)} configs",
+        "jobs_per_second": round(results["throughput"]["jobs_per_second"], 3),
+        "campaign_seconds": round(results["throughput"]["seconds"], 2),
+        "dedup_hit_rate": round(results["dedup"]["dedup_hit_rate"], 3),
+        "resubmission_simulations": results["dedup"]["simulated"],
+        "recovery_seconds_after_worker_kill": results["recovery"][
+            "recovery_seconds"
+        ],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))

@@ -15,8 +15,13 @@ memoises them as JSON files under ``.repro_cache/`` (override with the
 
 Corrupt or truncated entries — an interrupted write, a stray editor —
 are detected on load, deleted, and reported as misses; callers then fall
-back to a fresh run.  Writes go through a temporary file and
-``os.replace`` so a crash mid-write never leaves a half-entry behind.
+back to a fresh run.  Writes are atomic *and* durable: the payload is
+written to a temporary file, flushed and ``fsync``'d, then moved into
+place with ``os.replace`` (followed by a best-effort directory fsync),
+so neither a crash mid-write nor a power cut can leave a half-entry
+visible to a concurrent reader — the entry either exists completely or
+not at all.  The ``kill-mid-write`` and ``store-corrupt`` fault classes
+(:mod:`repro.common.faults`) target exactly this window in tests.
 """
 
 from __future__ import annotations
@@ -141,6 +146,12 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            # The atomicity claim under test: a writer killed here must
+            # leave the previous entry (or no entry) visible, never a
+            # torn one.
+            faults.kill_mid_write(key)
             os.replace(tmp_name, self.path(key))
         except OSError:
             try:
@@ -148,7 +159,22 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._fsync_directory()
+        faults.corrupt_store_file(self.path(key))
         self.stats.stores += 1
+
+    def _fsync_directory(self) -> None:
+        """Best-effort fsync of the cache directory (persists the rename)."""
+        try:
+            dir_fd = os.open(str(self.directory), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     # -- inspection ------------------------------------------------------
 

@@ -12,9 +12,15 @@ keys remain (``python -m repro sweeps --resume`` prints the count).
 Robustness properties, each covered by ``tests/test_campaign.py``:
 
 - appends are atomic at the line level (single ``write`` + flush +
-  fsync of a ``\\n``-terminated record);
+  fsync of a ``\\n``-terminated record), and the file is opened in
+  append mode (``O_APPEND``), so *concurrent* appenders — two runner
+  processes sharing one manifest file — interleave at record
+  granularity rather than corrupting each other;
 - a truncated final line — the signature of a crash mid-append — is
   ignored on load and overwritten by the next append;
+- a duplicate header line — two fresh appenders racing to initialise
+  the same file — is recognised and skipped on load rather than
+  counted as a torn record;
 - a manifest written by a different code version is set aside (renamed
   to ``*.stale``) rather than trusted, because run keys embed the
   source-tree digest indirectly through the result cache;
@@ -119,6 +125,10 @@ class CampaignManifest:
                 continue
             try:
                 record = json.loads(line)
+                if isinstance(record, dict) and "campaign" in record:
+                    # A second header: two fresh appenders raced to
+                    # initialise the file.  Benign, not a torn record.
+                    continue
                 key = record["key"]
             except (ValueError, KeyError, TypeError):
                 # A torn final append (crash mid-write) or stray bytes:

@@ -14,6 +14,11 @@ Commands:
 - ``trace`` — generate a synthetic trace to a file.
 - ``verify`` — run the Reverse-Tracer/logic-simulator cross-check.
 - ``smp`` — run the TPC-C SMP study.
+- ``submit`` — append (config, workload) jobs to a durable campaign
+  queue (duplicates single-flight onto the same job).
+- ``serve`` — drain a campaign queue through a lease-based worker pool
+  into the result cache, surviving worker crashes and restarts.
+- ``status`` — read-only view of a campaign queue's journal.
 """
 
 from __future__ import annotations
@@ -23,29 +28,11 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.model.config import (
-    ENGINE_CHOICES,
-    MachineConfig,
-    base_config,
-    bht_4k_2w_1t,
-    issue_2way,
-    l1_32k_1w_3c,
-    l2_off_8m_1w,
-    l2_off_8m_2w,
-    one_rs,
-    prefetch_off,
-)
+from repro.model.config import ENGINE_CHOICES, MachineConfig, named_configs
 
-_CONFIGS = {
-    "base": base_config,
-    "issue-2way": issue_2way,
-    "bht-4k": bht_4k_2w_1t,
-    "l1-32k": l1_32k_1w_3c,
-    "l2-off-8m-2w": l2_off_8m_2w,
-    "l2-off-8m-1w": l2_off_8m_1w,
-    "no-prefetch": prefetch_off,
-    "1rs": one_rs,
-}
+#: Name -> factory registry, shared with the campaign service so a job
+#: submitted by name resolves to the same configuration everywhere.
+_CONFIGS = named_configs()
 
 
 def _config_by_name(name: str) -> MachineConfig:
@@ -553,6 +540,100 @@ def _cmd_smp(args: argparse.Namespace) -> None:
         print(f"{key:24s} {value}")
 
 
+def _cmd_submit(args: argparse.Namespace) -> None:
+    """Append jobs to a durable campaign queue (no simulation here)."""
+    from repro.analysis.cache import ResultCache
+    from repro.common.errors import ConfigError, QueueFull
+    from repro.service import JobQueue, make_spec, spec_key, spec_label
+
+    cache = ResultCache(args.cache_dir)  # key derivation only; no I/O
+    with JobQueue(args.queue, capacity=args.capacity) as queue:
+        for workload in args.workloads:
+            for config in args.config:
+                try:
+                    spec = make_spec(
+                        workload,
+                        config=config,
+                        warm=args.warm,
+                        timed=args.timed,
+                        seed=args.seed,
+                        cpus=args.cpus,
+                    )
+                except ConfigError as exc:
+                    raise SystemExit(str(exc))
+                key = spec_key(spec, cache)
+                for _ in range(args.repeat):
+                    try:
+                        job = queue.submit(spec["kind"], spec, spec_label(spec), key)
+                    except QueueFull as exc:
+                        raise SystemExit(f"submission shed: {exc}")
+                note = (
+                    f" ({job.submissions} submissions, single-flighted)"
+                    if job.submissions > 1
+                    else ""
+                )
+                print(f"queued {spec_label(spec)} -> {key}{note}")
+        print(queue.summary())
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Drain a campaign queue through the lease-based worker pool."""
+    from repro.analysis.policy import RunPolicy
+    from repro.common import faults
+    from repro.common.errors import ExperimentError
+    from repro.service import CampaignService
+
+    if args.inject_faults:
+        faults.install_spec(args.inject_faults)
+    policy = RunPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        on_failure=args.on_failure,
+    )
+    service = CampaignService(
+        args.queue,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        lease_seconds=args.lease,
+        capacity=args.capacity,
+        policy=policy,
+        verbose=not args.quiet,
+    )
+    try:
+        try:
+            service.run(follow_idle=args.max_idle)
+        except ExperimentError as exc:
+            print(f"campaign aborted: {exc}", file=sys.stderr)
+            raise SystemExit(1)
+        print(service.summary())
+        dead = service.queue.counts()["dead"]
+        if dead:
+            print(f"{dead} job(s) exhausted their retry budget", file=sys.stderr)
+            raise SystemExit(1)
+    finally:
+        service.close()
+
+
+def _cmd_status(args: argparse.Namespace) -> None:
+    """Read-only replay of a campaign queue's journal."""
+    from pathlib import Path
+
+    from repro.analysis.cache import ResultCache
+    from repro.service import JobQueue
+
+    if not Path(args.queue).exists():
+        raise SystemExit(f"no queue journal at {args.queue}")
+    queue = JobQueue(args.queue)
+    print(queue.summary())
+    cache = ResultCache(args.cache_dir)
+    for job in queue.jobs.values():
+        stored = "stored" if cache.load(job.key) is not None else "no result"
+        extra = f", attempts {job.attempts}" if job.attempts else ""
+        extra += f", submissions {job.submissions}" if job.submissions > 1 else ""
+        extra += f" [{job.error}]" if job.error else ""
+        print(f"  {job.state:8s} {job.label}  ({stored}{extra})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SPARC64 V performance model (HPCA 2003)"
@@ -668,6 +749,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_smp.add_argument("--seed", type=int, default=2003)
     _add_engine_option(p_smp)
     p_smp.set_defaults(func=_cmd_smp)
+
+    p_submit = sub.add_parser(
+        "submit", help="append jobs to a durable campaign queue"
+    )
+    p_submit.add_argument("workloads", nargs="+",
+                          help="workload names, e.g. SPECint95 TPC-C")
+    p_submit.add_argument("--queue", default="campaign-queue.jsonl",
+                          metavar="PATH", help="journal path (shared with serve)")
+    p_submit.add_argument("--config", nargs="+", default=["base"],
+                          choices=_CONFIGS, help="configurations to pair with")
+    p_submit.add_argument("--warm", type=int, default=100_000)
+    p_submit.add_argument("--timed", type=int, default=25_000)
+    p_submit.add_argument("--seed", type=int, default=2003)
+    p_submit.add_argument("--cpus", type=_positive_int, default=None,
+                          help="submit SMP runs with this many CPUs")
+    p_submit.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_submit.add_argument("--capacity", type=_positive_int, default=None,
+                          help="refuse submissions beyond this backlog")
+    p_submit.add_argument("--repeat", type=_positive_int, default=1,
+                          help="submit each point N times (dedup demo; "
+                               "still exactly one simulation)")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_serve = sub.add_parser(
+        "serve", help="drain a campaign queue with crash-safe workers"
+    )
+    p_serve.add_argument("--queue", default="campaign-queue.jsonl",
+                         metavar="PATH", help="journal path (shared with submit)")
+    p_serve.add_argument("--jobs", type=_positive_int, default=2, metavar="N",
+                         help="worker processes (default 2)")
+    p_serve.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                         help="claim-lease length; an expired lease requeues "
+                              "the job (default 30)")
+    p_serve.add_argument("--capacity", type=_positive_int, default=None,
+                         help="shed pending jobs beyond this backlog")
+    p_serve.add_argument("--max-idle", type=float, default=0.0, metavar="SECONDS",
+                         help="keep polling this long after the queue drains "
+                              "(0: exit when drained)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_serve.add_argument("--quiet", action="store_true")
+    p_serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="per-run wall-clock limit; hung workers are "
+                              "killed and the job requeued")
+    p_serve.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="attempts beyond the first per job (default 1)")
+    p_serve.add_argument("--on-failure", choices=("retry", "fail", "skip"),
+                         default="retry",
+                         help="after retries: rerun in-process / abort / "
+                              "mark dead and continue")
+    p_serve.add_argument("--inject-faults", default=None, metavar="SPEC",
+                         help="deterministic fault injection for testing "
+                              "(see repro.common.faults)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_status = sub.add_parser(
+        "status", help="read-only view of a campaign queue"
+    )
+    p_status.add_argument("--queue", default="campaign-queue.jsonl",
+                          metavar="PATH")
+    p_status.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_status.set_defaults(func=_cmd_status)
 
     return parser
 

@@ -54,6 +54,28 @@ class CampaignError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The campaign service reached an unusable state.
+
+    Raised by :mod:`repro.service` for conditions the scheduler cannot
+    degrade around — e.g. a stored result that reads back unreadable
+    after every retry, or an operation on a job the journal has never
+    seen.  Transient failures (worker death, lease expiry) are handled
+    by requeueing and never surface as exceptions.
+    """
+
+
+class QueueFull(ServiceError):
+    """A bounded job queue refused a submission (load shedding).
+
+    Raised by :meth:`repro.service.queue.JobQueue.submit` when the
+    pending backlog has reached the configured capacity.  Callers are
+    expected to back off and resubmit; the refusal is deliberate
+    (bounded memory and bounded completion latency for accepted jobs)
+    rather than a failure of the service.
+    """
+
+
 class InjectedFault(ReproError):
     """A deliberately injected fault (testing only).
 

@@ -18,14 +18,28 @@ token is the kind, the rest are ``key=value`` parameters.
 
 Kinds and their trigger sites:
 
-=================  ====================================================
-``worker-crash``   worker entry point calls ``os._exit`` (SIGKILL-like)
-``worker-hang``    worker entry point sleeps ``hang`` seconds
-``worker-raise``   worker entry point raises :class:`InjectedFault`
-``cache-corrupt``  result-cache store scribbles on the JSON envelope
-``trace-truncate`` trace writer truncates the file after writing
-``trace-bitflip``  trace writer flips one byte after writing
-=================  ====================================================
+======================  ===============================================
+``worker-crash``        worker entry point calls ``os._exit`` (SIGKILL-like)
+``worker-hang``         worker entry point sleeps ``hang`` seconds
+``worker-raise``        worker entry point raises :class:`InjectedFault`
+``cache-corrupt``       result-cache store scribbles on the JSON envelope
+``trace-truncate``      trace writer truncates the file after writing
+``trace-bitflip``       trace writer flips one byte after writing
+``lease-expiry``        service treats a held job lease as already expired
+``heartbeat-stall``     service suppresses a lease renewal (worker "lost")
+``kill-mid-write``      result store dies between temp write and rename
+``duplicate-delivery``  job queue hands a running job to a second worker
+``store-corrupt``       result store damages the *final* file post-rename
+======================  ===============================================
+
+The five service kinds exercise the distributed failure modes of
+:mod:`repro.service`: a lost worker whose lease lapses, the same job
+executing twice, and a result store hit by a crash or bitrot.  The
+store-side kinds (``kill-mid-write``, ``store-corrupt``) honour
+``times`` against the *retry attempt* when the caller wraps the write
+in :func:`attempt_scope`, so injected store damage spares retries the
+same way worker faults do — the property that lets chaos campaigns
+converge to bit-identical results.
 
 Parameters (all optional):
 
@@ -51,6 +65,7 @@ from __future__ import annotations
 import os
 import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -70,7 +85,36 @@ _KINDS = (
     "cache-corrupt",
     "trace-truncate",
     "trace-bitflip",
+    "lease-expiry",
+    "heartbeat-stall",
+    "kill-mid-write",
+    "duplicate-delivery",
+    "store-corrupt",
 )
+
+#: Retry-attempt context for store-side fault sites (see attempt_scope).
+_attempt_context: Optional[int] = None
+
+
+@contextmanager
+def attempt_scope(attempt: int):
+    """Tag store-side fault sites with the current retry attempt.
+
+    ``kill-mid-write`` and ``store-corrupt`` fire at sites that have no
+    natural attempt number (the result store does not know it is being
+    retried).  Wrapping the execute-and-store path in
+    ``with faults.attempt_scope(attempt):`` lets those sites apply the
+    same ``attempt >= times`` sparing rule as worker faults, so a spec
+    like ``kill-mid-write,times=1`` kills the first attempt and spares
+    the retry in *any* process — deterministic convergence.
+    """
+    global _attempt_context
+    previous = _attempt_context
+    _attempt_context = attempt
+    try:
+        yield
+    finally:
+        _attempt_context = previous
 
 
 @dataclass(frozen=True)
@@ -206,6 +250,43 @@ class FaultInjector:
         # rename racing a non-atomic writer, or a scribbling editor.
         return text[: max(1, len(text) // 2)]
 
+    # -- service sites ---------------------------------------------------
+
+    def lease_expired(self, label: str) -> bool:
+        """Service scheduler asks: pretend this held lease lapsed?"""
+        return self._select("lease-expiry", label, None) is not None
+
+    def stall_heartbeat(self, label: str) -> bool:
+        """Service asks: swallow this lease renewal (worker "lost")?"""
+        return self._select("heartbeat-stall", label, None) is not None
+
+    def duplicate_delivery(self, label: str) -> bool:
+        """Job queue asks: hand an already-running job out again?"""
+        return self._select("duplicate-delivery", label, None) is not None
+
+    def kill_mid_write(self, label: str) -> None:
+        """Called between the result store's temp write and its rename."""
+        if self._select("kill-mid-write", label, _attempt_context) is not None:
+            # Die with the temp file written but the rename not yet done:
+            # the atomicity claim says no reader may ever see a torn entry.
+            os._exit(CRASH_EXIT_CODE)
+
+    def corrupt_store_file(self, path: os.PathLike) -> None:
+        """Called after the result store's rename; may damage the file.
+
+        Unlike ``cache-corrupt`` (which models a crashed *non-atomic*
+        writer by chopping the byte stream before it hits disk), this
+        damages the final, successfully renamed file — modelling bitrot
+        or a scribbling co-tenant.  Readers must detect it and fall back
+        to recompute or serve-stale.
+        """
+        label = os.fspath(path)
+        if self._select("store-corrupt", label, _attempt_context) is None:
+            return
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+
     def corrupt_trace_file(self, path: os.PathLike) -> None:
         """Called after a trace file is fully written; may damage it."""
         label = os.fspath(path)
@@ -292,3 +373,30 @@ def corrupt_trace_file(path: os.PathLike) -> None:
     injector = active()
     if injector is not None:
         injector.corrupt_trace_file(path)
+
+
+def lease_expired(label: str) -> bool:
+    injector = active()
+    return injector is not None and injector.lease_expired(label)
+
+
+def stall_heartbeat(label: str) -> bool:
+    injector = active()
+    return injector is not None and injector.stall_heartbeat(label)
+
+
+def duplicate_delivery(label: str) -> bool:
+    injector = active()
+    return injector is not None and injector.duplicate_delivery(label)
+
+
+def kill_mid_write(label: str) -> None:
+    injector = active()
+    if injector is not None:
+        injector.kill_mid_write(label)
+
+
+def corrupt_store_file(path: os.PathLike) -> None:
+    injector = active()
+    if injector is not None:
+        injector.corrupt_store_file(path)

@@ -30,6 +30,7 @@ Latency notes (all in 1.3 GHz CPU cycles):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable, Dict
 
 from repro.common.units import ns_to_cycles
 from repro.core.params import CoreParams, RsOrganization
@@ -294,3 +295,23 @@ def one_rs(base: MachineConfig = None) -> MachineConfig:
     return base.derived(
         "1RS", core=base.core.derived(rs_organization=RsOrganization.ONE_RS)
     )
+
+
+def named_configs() -> "Dict[str, Callable[[], MachineConfig]]":
+    """The CLI/service registry: short name -> configuration factory.
+
+    Job specs in :mod:`repro.service` reference configurations by these
+    names (JSON-serialisable, stable across hosts); the factories are
+    evaluated at execution time so the resulting content hashes — not
+    the names — are what the result cache and dedup keys see.
+    """
+    return {
+        "base": base_config,
+        "issue-2way": issue_2way,
+        "bht-4k": bht_4k_2w_1t,
+        "l1-32k": l1_32k_1w_3c,
+        "l2-off-8m-2w": l2_off_8m_2w,
+        "l2-off-8m-1w": l2_off_8m_1w,
+        "no-prefetch": prefetch_off,
+        "1rs": one_rs,
+    }

@@ -1,0 +1,37 @@
+"""Resilient campaign service: durable queue, leases, single-flight.
+
+Public surface:
+
+- :func:`~repro.service.jobs.make_spec` / :func:`~repro.service.jobs.spec_key`
+  / :func:`~repro.service.jobs.spec_label` /
+  :func:`~repro.service.jobs.execute_spec` — the JSON job-spec contract;
+- :class:`~repro.service.queue.JobQueue` — append-only journal with
+  time-bounded leases, dedup, and explicit load shedding;
+- :class:`~repro.service.service.CampaignService` — the scheduler that
+  drives claimed jobs through a worker pool into the result cache.
+"""
+
+from repro.service.jobs import (
+    execute_spec,
+    make_spec,
+    spec_config,
+    spec_key,
+    spec_label,
+    spec_workload,
+)
+from repro.service.queue import Job, JobQueue, QueueStats
+from repro.service.service import CampaignService, ServiceStats
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobQueue",
+    "QueueStats",
+    "ServiceStats",
+    "execute_spec",
+    "make_spec",
+    "spec_config",
+    "spec_key",
+    "spec_label",
+    "spec_workload",
+]

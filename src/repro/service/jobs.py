@@ -1,0 +1,138 @@
+"""Job specs: the JSON contract between submitters, journal, and workers.
+
+A campaign-service job names one ``(configuration, workload[, cpus])``
+simulation point with nothing but JSON scalars, so it can be appended to
+the durable journal by one process (``repro submit``), replayed by
+another (``repro serve`` after a crash), and executed by a third (a pool
+worker) — all agreeing on the same identity:
+
+- configurations are referenced by their registry name
+  (:func:`repro.model.config.named_configs`); the *content hash* of the
+  built configuration, not the name, feeds the dedup/cache key, so two
+  code versions that change a parameter never alias;
+- workloads are referenced by their paper name plus generation
+  parameters (seed, warm, timed) — the same identity
+  :meth:`~repro.analysis.workloads.Workload.cache_key` uses;
+- :func:`spec_key` is exactly the :class:`~repro.analysis.cache.ResultCache`
+  key of the run, so "the service finished this job" and "any runner
+  gets a cache hit for it" are the same statement, and duplicate
+  submissions of the same content single-flight by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.workloads import (
+    DEFAULT_SEED,
+    DEFAULT_TIMED,
+    DEFAULT_WARM,
+    Workload,
+    workload_by_name,
+)
+from repro.common.errors import ConfigError, ServiceError
+from repro.model.config import MachineConfig, named_configs
+
+#: Spec schema version, embedded in every journal record.
+SPEC_FORMAT = 1
+
+
+def make_spec(
+    workload: str,
+    config: str = "base",
+    warm: int = DEFAULT_WARM,
+    timed: int = DEFAULT_TIMED,
+    seed: int = DEFAULT_SEED,
+    cpus: Optional[int] = None,
+) -> dict:
+    """Build (and validate) a job spec.  Raises :class:`ConfigError`."""
+    if config not in named_configs():
+        raise ConfigError(
+            f"unknown config {config!r}; choose from: "
+            f"{', '.join(named_configs())}"
+        )
+    if cpus is not None and cpus < 1:
+        raise ConfigError(f"cpus must be >= 1, got {cpus}")
+    spec = {
+        "v": SPEC_FORMAT,
+        "kind": "smp" if cpus else "up",
+        "workload": workload,
+        "config": config,
+        "warm": int(warm),
+        "timed": int(timed),
+        "seed": int(seed),
+    }
+    if cpus:
+        spec["cpus"] = int(cpus)
+    spec_workload(spec)  # rejects unknown workload names at submit time
+    return spec
+
+
+def spec_config(spec: dict) -> MachineConfig:
+    """The machine configuration a spec names (built fresh)."""
+    registry = named_configs()
+    name = spec.get("config", "base")
+    try:
+        return registry[name]()
+    except KeyError:
+        raise ConfigError(f"job spec names unknown config {name!r}") from None
+
+
+def spec_workload(spec: dict) -> Workload:
+    """The workload a spec names (traces regenerated from the seed)."""
+    return workload_by_name(
+        spec["workload"],
+        warm=int(spec.get("warm", DEFAULT_WARM)),
+        timed=int(spec.get("timed", DEFAULT_TIMED)),
+        seed=int(spec.get("seed", DEFAULT_SEED)),
+    )
+
+
+def spec_label(spec: dict) -> str:
+    """Human-readable run label, matching the ParallelRunner convention
+    (``workload@config`` / ``workloadxNP@config``) so ``REPRO_FAULTS``
+    ``match=`` patterns target service runs and runner runs alike."""
+    config_name = spec_config(spec).name
+    if spec.get("kind") == "smp":
+        return f"{spec['workload']}x{spec['cpus']}P@{config_name}"
+    return f"{spec['workload']}@{config_name}"
+
+
+def spec_key(spec: dict, cache: ResultCache) -> str:
+    """The job's identity: exactly the result-cache key of the run."""
+    config = spec_config(spec)
+    workload = spec_workload(spec)
+    if spec.get("kind") == "smp":
+        return cache.key(
+            "smp", config.content_hash(), workload.cache_key(), int(spec["cpus"])
+        )
+    return cache.key("up", config.content_hash(), workload.cache_key())
+
+
+def execute_spec(spec: dict) -> Tuple[dict, dict]:
+    """Run the simulation a spec names; returns ``(payload, meta)``.
+
+    The payload/meta shapes match what :class:`ParallelRunner` stores,
+    so entries produced by the service are indistinguishable from
+    entries produced by a local sweep — ``repro analyze`` renders both.
+    """
+    from repro.analysis.runner import _run_smp, _run_up
+
+    kind = spec.get("kind", "up")
+    if kind not in ("up", "smp"):
+        raise ServiceError(f"job spec has unknown kind {kind!r}")
+    config = spec_config(spec)
+    workload = spec_workload(spec)
+    if kind == "smp":
+        cpus = int(spec["cpus"])
+        result = _run_smp(config, workload, cpus)
+        meta = {
+            "config": result.config_name,
+            "workload": workload.name,
+            "cpus": cpus,
+        }
+    else:
+        result = _run_up(config, workload)
+        meta = {"config": result.config_name, "workload": workload.name}
+    return result.to_dict(), meta

@@ -121,3 +121,57 @@ class TestQuarantine:
         )
         manifest = CampaignManifest(path, code_hash="deadbeef")
         assert len(manifest) == 0
+
+
+def _append_marks(path, code_hash, tag, count):
+    """Child-process body for the concurrent-appender test."""
+    with CampaignManifest(path, code_hash=code_hash) as manifest:
+        for index in range(count):
+            manifest.mark(f"{tag}-{index:04d}", f"label-{tag}-{index}")
+
+
+class TestConcurrentAppenders:
+    def test_two_processes_interleave_at_record_granularity(self, tmp_path):
+        """Two appender processes sharing one manifest: O_APPEND plus
+        single-write line records mean every mark from both survives and
+        no line is torn."""
+        import multiprocessing
+
+        path = tmp_path / "campaign.jsonl"
+        count = 25
+        workers = [
+            multiprocessing.Process(
+                target=_append_marks, args=(path, "deadbeef", tag, count)
+            )
+            for tag in ("left", "right")
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+            assert worker.exitcode == 0
+        merged = CampaignManifest(path, code_hash="deadbeef")
+        assert merged.recovered_drops == 0
+        assert len(merged) == 2 * count
+        for tag in ("left", "right"):
+            for index in range(count):
+                assert merged.is_done(f"{tag}-{index:04d}")
+
+    def test_duplicate_header_from_racing_fresh_appenders(self, tmp_path):
+        """Two fresh appenders can both decide the file needs a header;
+        the loader must treat the second header as benign, not torn."""
+        path = tmp_path / "campaign.jsonl"
+        with _manifest(tmp_path) as manifest:
+            manifest.mark("aaaa", "one")
+        # Replay the race: a second fresh appender's header landed
+        # between two ordinary records.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"campaign": MANIFEST_FORMAT, "code": "deadbeef"})
+                + "\n"
+            )
+        with _manifest(tmp_path) as manifest:
+            manifest.mark("bbbb", "two")
+        merged = _manifest(tmp_path)
+        assert merged.recovered_drops == 0  # header is not a torn line
+        assert merged.is_done("aaaa") and merged.is_done("bbbb")

@@ -53,3 +53,62 @@ class TestParser:
         main(["smp", "--cpus", "2", "--warm", "2000", "--timed", "1000"])
         out = capsys.readouterr().out
         assert "system_ipc" in out
+
+
+class TestServiceCommands:
+    def test_submit_serve_status_roundtrip(self, tmp_path, capsys):
+        queue = str(tmp_path / "q.jsonl")
+        cache = str(tmp_path / "cache")
+        main([
+            "submit", "SPECint95", "--queue", queue, "--cache-dir", cache,
+            "--warm", "2000", "--timed", "800", "--repeat", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "queued SPECint95@SPARC64-V" in out
+        assert "3 submissions, single-flighted" in out
+        assert "1 pending" in out
+
+        main([
+            "serve", "--queue", queue, "--cache-dir", cache,
+            "--jobs", "1", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert "1 done" in out and "0 dead" in out
+        assert "dedup 2" in out
+
+        main(["status", "--queue", queue, "--cache-dir", cache])
+        out = capsys.readouterr().out
+        assert "done" in out and "stored" in out
+        assert "SPECint95@SPARC64-V" in out
+
+    def test_status_without_journal_fails_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no queue journal"):
+            main(["status", "--queue", str(tmp_path / "missing.jsonl")])
+
+    def test_submit_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["submit", "SPECweb", "--queue", str(tmp_path / "q.jsonl")])
+
+    def test_serve_reports_dead_jobs_in_exit_code(self, tmp_path, capsys):
+        from repro.common import faults
+
+        queue = str(tmp_path / "q.jsonl")
+        cache = str(tmp_path / "cache")
+        main([
+            "submit", "SPECint95", "--queue", queue, "--cache-dir", cache,
+            "--warm", "2000", "--timed", "800",
+        ])
+        capsys.readouterr()
+        try:
+            with pytest.raises(SystemExit):
+                main([
+                    "serve", "--queue", queue, "--cache-dir", cache,
+                    "--jobs", "1", "--quiet", "--retries", "0",
+                    "--on-failure", "skip",
+                    "--inject-faults", "worker-raise,times=100",
+                ])
+            err = capsys.readouterr().err
+            assert "retry budget" in err
+        finally:
+            faults.install_spec(None)
+            faults.reset()

@@ -251,3 +251,104 @@ class TestResumableCampaign:
         assert len(resumed) == len(sizes)
         resumed.close()
         second.close()
+
+
+class TestServiceFaultKinds:
+    """The five service fault classes added for repro.service."""
+
+    def test_new_kinds_parse(self):
+        specs = faults.parse_spec(
+            "lease-expiry,times=2;heartbeat-stall,match=TPC;"
+            "kill-mid-write;duplicate-delivery;store-corrupt,times=3"
+        )
+        assert [s.kind for s in specs] == [
+            "lease-expiry",
+            "heartbeat-stall",
+            "kill-mid-write",
+            "duplicate-delivery",
+            "store-corrupt",
+        ]
+
+    def test_lease_expiry_counts_down_times(self):
+        injector = faults.FaultInjector.from_spec("lease-expiry,times=2")
+        assert injector.lease_expired("a@base") is True
+        assert injector.lease_expired("a@base") is True
+        assert injector.lease_expired("a@base") is False  # budget spent
+        assert injector.fired["lease-expiry"] == 2
+
+    def test_heartbeat_stall_respects_match(self):
+        injector = faults.FaultInjector.from_spec("heartbeat-stall,match=TPC-C")
+        assert injector.stall_heartbeat("SPECint95@SPARC64-V") is False
+        assert injector.stall_heartbeat("TPC-C@SPARC64-V") is True
+
+    def test_duplicate_delivery_fires_once_by_default(self):
+        injector = faults.FaultInjector.from_spec("duplicate-delivery")
+        assert injector.duplicate_delivery("a@base") is True
+        assert injector.duplicate_delivery("a@base") is False
+
+    def test_store_corrupt_truncates_final_file(self, tmp_path):
+        target = tmp_path / "entry.json"
+        target.write_text("x" * 100, encoding="utf-8")
+        injector = faults.FaultInjector.from_spec("store-corrupt,times=1")
+        faults.install(injector)
+        faults.corrupt_store_file(target)
+        assert target.stat().st_size == 50
+        faults.corrupt_store_file(target)  # budget spent: untouched
+        assert target.stat().st_size == 50
+
+    def test_attempt_scope_spares_store_faults_on_retry(self, tmp_path):
+        """Store-side sites have no natural attempt number; attempt_scope
+        supplies one so `times=N` spares attempts >= N, letting retries
+        converge even though the counter would otherwise be per-process."""
+        target = tmp_path / "entry.json"
+        injector = faults.FaultInjector.from_spec("store-corrupt,times=1")
+        faults.install(injector)
+        # Retry attempt (1) is spared even though the site never fired.
+        target.write_text("x" * 100, encoding="utf-8")
+        with faults.attempt_scope(1):
+            faults.corrupt_store_file(target)
+        assert target.stat().st_size == 100
+        # First attempt (0) fires.
+        with faults.attempt_scope(0):
+            faults.corrupt_store_file(target)
+        assert target.stat().st_size == 50
+
+    def test_kill_mid_write_dies_without_exposing_entry(self, tmp_path):
+        """Subprocess proof of the store's atomicity: a writer killed
+        between temp write and rename exits with CRASH_EXIT_CODE and
+        leaves no entry visible (only temp debris at worst)."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        script = (
+            "from repro.common import faults\n"
+            "from repro.analysis.cache import ResultCache\n"
+            "faults.install_spec('kill-mid-write,times=1')\n"
+            f"cache = ResultCache({str(tmp_path)!r})\n"
+            "key = cache.key('up', 'cfg', 'wl')\n"
+            "open('key.txt', 'w').write(key)\n"
+            "cache.store(key, {'ipc': 1.0})\n"
+            "raise SystemExit('store unexpectedly survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=str(tmp_path),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == faults.CRASH_EXIT_CODE
+        key = (tmp_path / "key.txt").read_text()
+        cache = __import__(
+            "repro.analysis.cache", fromlist=["ResultCache"]
+        ).ResultCache(str(tmp_path))
+        assert cache.load(key) is None  # miss, never a torn entry
+        assert cache.stats.corrupt == 0
+        # The fsync'd temp file is the only trace of the dead writer.
+        assert list(tmp_path.glob("*.tmp"))

@@ -120,3 +120,51 @@ class TestHashing:
         now = ResultCache(str(tmp_path))
         other = ResultCache(str(tmp_path), code_hash="f" * 16)
         assert now.key("up", "cfg", "wl") != other.key("up", "cfg", "wl")
+
+
+class TestAtomicDurableWrites:
+    """The store protocol: temp write + fsync + rename + dir fsync."""
+
+    def test_store_fsyncs_data_and_directory(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "os.fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        cache = ResultCache(str(tmp_path))
+        cache.store(cache.key("up", "cfg", "wl"), {"ipc": 1.0})
+        # One fsync for the temp file's bytes, one for the directory
+        # entry created by the rename: both are needed for durability.
+        assert len(synced) == 2
+
+    def test_store_leaves_no_temp_debris(self, cache):
+        for index in range(3):
+            cache.store(cache.key("up", "cfg", f"wl{index}"), {"n": index})
+        debris = list(cache.directory.glob("*.tmp"))
+        assert debris == []
+
+    def test_failed_rename_cleans_temp_and_raises(self, cache, monkeypatch):
+        def broken_replace(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr("os.replace", broken_replace)
+        key = cache.key("up", "cfg", "wl")
+        with pytest.raises(OSError, match="disk detached"):
+            cache.store(key, {"ipc": 1.0})
+        monkeypatch.undo()
+        assert list(cache.directory.glob("*.tmp")) == []
+        assert cache.load(key) is None  # no entry, not a torn one
+
+    def test_interrupted_write_is_invisible_to_readers(self, cache):
+        """A concurrent reader sees the old entry until the atomic
+        rename lands, never a partial new one."""
+        key = cache.key("up", "cfg", "wl")
+        cache.store(key, {"version": 1})
+        # Simulate the window between temp write and rename: a stray
+        # temp file exists alongside the still-intact old entry.
+        (cache.directory / f".{key}.pending.tmp").write_text(
+            '{"torn', encoding="utf-8"
+        )
+        assert cache.load(key) == {"version": 1}
